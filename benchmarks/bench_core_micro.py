@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the core components.
+
+Not a paper table: these benchmark the throughput of the building blocks
+(cost evaluation, validity checking, the baselines, the initialization
+heuristics, hill climbing and coarsening) so that performance regressions in
+the library itself are visible.
+"""
+
+import pytest
+
+from repro.baselines.cilk import CilkScheduler
+from repro.baselines.hdagg import HDaggScheduler
+from repro.baselines.list_schedulers import EtfScheduler
+from repro.graphs.fine import exp_dag
+from repro.heuristics.bspg import BspGreedyScheduler
+from repro.heuristics.source import SourceScheduler
+from repro.localsearch.hill_climbing import hill_climb
+from repro.localsearch.comm_hill_climbing import comm_hill_climb
+from repro.model.cost import evaluate
+from repro.model.machine import BspMachine
+from repro.multilevel.coarsen import coarsen_dag
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return exp_dag(10, k=3, q=0.25, seed=13)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return BspMachine(P=8, g=3, l=5)
+
+
+@pytest.fixture(scope="module")
+def hdagg_schedule(dag, machine):
+    return HDaggScheduler().schedule(dag, machine)
+
+
+def test_cost_evaluation(benchmark, hdagg_schedule):
+    result = benchmark(evaluate, hdagg_schedule)
+    assert result.total > 0
+
+
+def test_validity_check(benchmark, hdagg_schedule):
+    assert benchmark(hdagg_schedule.is_valid)
+
+
+def test_cilk_scheduler(benchmark, dag, machine):
+    sched = benchmark(CilkScheduler(seed=0).schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_etf_scheduler(benchmark, dag, machine):
+    sched = benchmark(EtfScheduler().schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_hdagg_scheduler(benchmark, dag, machine):
+    sched = benchmark(HDaggScheduler().schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_bspg_scheduler(benchmark, dag, machine):
+    sched = benchmark(BspGreedyScheduler().schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_source_scheduler(benchmark, dag, machine):
+    sched = benchmark(SourceScheduler().schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_hill_climbing_pass(benchmark, hdagg_schedule):
+    result = benchmark.pedantic(
+        lambda: hill_climb(hdagg_schedule, max_passes=1), rounds=1, iterations=1
+    )
+    assert result.schedule.is_valid()
+
+
+def test_comm_hill_climbing(benchmark, hdagg_schedule):
+    result = benchmark.pedantic(
+        lambda: comm_hill_climb(hdagg_schedule), rounds=1, iterations=1
+    )
+    assert result.schedule.is_valid()
+
+
+def test_coarsening(benchmark, dag):
+    seq = benchmark.pedantic(
+        lambda: coarsen_dag(dag, max(8, dag.n // 3)), rounds=1, iterations=1
+    )
+    assert seq.num_contractions > 0

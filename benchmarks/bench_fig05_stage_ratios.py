@@ -1,0 +1,32 @@
+"""Figure 5 — mean cost ratios of every pipeline stage, normalized to Cilk.
+
+Regenerates the bar chart of the paper's Figure 5 as a table: for each value
+of g, the geometric-mean cost ratio of Cilk, HDagg, the best initialization
+heuristic, the schedule after HC+HCcs, and the final schedule after the ILP
+stages — all normalized to the Cilk baseline.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_fig05_stage_ratios(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_figure5_stage_ratios(
+            main_datasets,
+            P_values=(2, 4),
+            g_values=(1, 3, 5),
+            latency=5,
+            config=fast_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    # Shape check: every stage of our framework is at least as good as the
+    # Cilk baseline, and the final ILP stage is the best of our stages.
+    for row in table.rows:
+        cilk, hdagg, init, hccs, ilp = (float(x) for x in row[1:])
+        assert cilk == 1.0
+        assert ilp <= hccs + 1e-9 <= init + 1e-6
+        assert ilp < cilk

@@ -1,0 +1,37 @@
+"""Figure 6 — stage cost ratios with NUMA effects, including the multilevel
+scheduler.
+
+Regenerates the paper's Figure 6 as a table: for each (P, delta) pair on the
+binary-tree NUMA hierarchy, the geometric-mean cost ratio (normalized to
+Cilk) of Cilk, HDagg, the initialization heuristics, HC+HCcs, the final ILP
+stage, and the multilevel scheduler (ML).
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_fig06_numa_with_multilevel(benchmark, main_datasets, fast_config, multilevel_config, emit):
+    def run():
+        return paper_tables.make_figure6_numa_with_multilevel(
+            main_datasets,
+            P_values=(8,),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+            multilevel_config=multilevel_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    # Shape checks: our base framework beats Cilk; with the highest delta the
+    # multilevel scheduler is competitive with (or better than) the base
+    # framework, mirroring the paper's crossover.
+    rows = {row[0]: [float(x) for x in row[1:]] for row in table.rows}
+    for label, (cilk, hdagg, init, hccs, ilp, ml) in rows.items():
+        assert cilk == 1.0
+        assert ilp < 1.0
+    high_delta = [vals for label, vals in rows.items() if label.endswith("d=4")]
+    assert high_delta and high_delta[0][5] <= high_delta[0][4] * 1.2

@@ -1,0 +1,29 @@
+"""Figure 7 — stage cost ratios on the huge dataset, split by P.
+
+Regenerates the paper's Figure 7 as a table: the geometric-mean cost ratios
+(normalized to Cilk) of Cilk, HDagg, the best initializer and the schedule
+after HC+HCcs on the huge dataset, for each processor count.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_fig07_huge_stages(benchmark, huge_dataset, heuristics_config, emit):
+    def run():
+        return paper_tables.make_figure7_huge_stages(
+            huge_dataset,
+            P_values=(4, 8),
+            g_values=(1, 5),
+            latency=5,
+            config=heuristics_config,
+        )
+
+    table = run_once(benchmark, run)
+    emit(table)
+    for row in table.rows:
+        cilk, hdagg, init, hccs = (float(x) for x in row[1:])
+        assert cilk == 1.0
+        assert hccs <= init + 1e-6  # local search only improves the initializers
+        assert hccs < 1.0  # and the result beats Cilk

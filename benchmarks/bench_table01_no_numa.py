@@ -1,0 +1,35 @@
+"""Table 1 — cost reduction vs Cilk and HDagg without NUMA effects.
+
+Regenerates the paper's Table 1 (both halves): the geometric-mean cost
+reduction of the full scheduling framework relative to the Cilk and HDagg
+baselines, split by (g, P) and by (g, dataset).
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+P_VALUES = (2, 4)
+G_VALUES = (1, 5)
+LATENCY = 5
+
+
+def test_table01_no_numa(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_table1_no_numa(
+            main_datasets,
+            P_values=P_VALUES,
+            g_values=G_VALUES,
+            latency=LATENCY,
+            config=fast_config,
+        )
+
+    by_p, by_dataset, _grid = run_once(benchmark, run)
+    emit(by_p, by_dataset)
+    # Reproduction check (shape, not absolute numbers): the framework must
+    # reduce the cost relative to both baselines on average.
+    for row in by_p.rows:
+        for cell in row[1:]:
+            vs_cilk = float(cell.split("/")[0].strip().rstrip("%"))
+            assert vs_cilk > 0.0

@@ -1,0 +1,30 @@
+"""Table 2 — cost reduction of the base scheduler with NUMA effects.
+
+Regenerates the paper's Table 2: the cost reduction of the framework
+relative to Cilk and HDagg on a binary-tree NUMA hierarchy, for every
+combination of the processor count P and the NUMA factor delta.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table02_numa(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_table2_numa(
+            main_datasets,
+            P_values=(4, 8),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    # Shape check: positive improvement over Cilk in the NUMA setting.
+    for row in table.rows:
+        for cell in row[1:]:
+            vs_cilk = float(cell.split("/")[0].strip().rstrip("%"))
+            assert vs_cilk > 0.0

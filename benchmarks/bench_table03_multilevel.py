@@ -1,0 +1,34 @@
+"""Table 3 — cost reduction achieved by the multilevel scheduler with NUMA.
+
+Regenerates the paper's Table 3: the geometric-mean cost reduction of the
+multilevel scheduler relative to Cilk and HDagg for every (P, delta)
+combination of the binary-tree NUMA hierarchy.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table03_multilevel(benchmark, small_dataset, fast_config, multilevel_config, emit):
+    datasets = {"small": small_dataset}
+
+    def run():
+        return paper_tables.make_table3_multilevel(
+            datasets,
+            P_values=(8,),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+            multilevel_config=multilevel_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    # Shape check: the multilevel scheduler improves on Cilk, and the
+    # improvement grows with the NUMA factor delta (the paper's key trend).
+    row = table.rows[0]
+    reductions = [float(cell.split("/")[0].strip().rstrip("%")) for cell in row[1:]]
+    assert all(r > 0 for r in reductions)
+    assert reductions[-1] >= reductions[0] - 5.0

@@ -1,0 +1,30 @@
+"""Table 4 — which initialization heuristic wins on spmv training instances.
+
+Regenerates the paper's Table 4: for every processor count, how many of the
+shallow spmv training instances are won by each of the initialization
+heuristics (BSPg, Source, ILPinit).
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table04_initializers_spmv(benchmark, training_set, fast_config, emit):
+    spmv_only = [d for d in training_set if "spmv" in d.name]
+
+    def run():
+        return paper_tables.make_tables_4_and_5_initializers(
+            spmv_only,
+            P_values=(2, 4),
+            g_values=(1, 5),
+            latency=5,
+            config=fast_config,
+        )
+
+    table4, _table5 = run_once(benchmark, run)
+    emit(table4)
+    # Shape check: every P row records a winner for every spmv instance.
+    assert len(table4.rows) == 2
+    for row in table4.rows:
+        assert row[1] != "-"

@@ -1,0 +1,28 @@
+"""Table 5 — which initialization heuristic wins on exp / cg / kNN instances.
+
+Regenerates the paper's Table 5: for the deeper training instances, how many
+times each initialization heuristic produces the cheapest starting schedule,
+split by processor count and DAG size bucket.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table05_initializers_other(benchmark, training_set, fast_config, emit):
+    non_spmv = [d for d in training_set if "spmv" not in d.name]
+
+    def run():
+        return paper_tables.make_tables_4_and_5_initializers(
+            non_spmv,
+            P_values=(2, 4),
+            g_values=(1, 3),
+            latency=5,
+            config=fast_config,
+        )
+
+    _table4, table5 = run_once(benchmark, run)
+    emit(table5)
+    assert len(table5.rows) == 3  # one row per size bucket
+    assert any(cell != "-" for row in table5.rows for cell in row[1:])

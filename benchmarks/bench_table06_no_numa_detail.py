@@ -1,0 +1,25 @@
+"""Table 6 — per-(g, P, dataset) improvement without NUMA effects.
+
+Regenerates the paper's Table 6: the cost reduction of the framework versus
+Cilk and HDagg for every combination of g, P and dataset.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table06_no_numa_detail(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_table6_no_numa_detail(
+            main_datasets,
+            P_values=(2, 4),
+            g_values=(1, 5),
+            latency=5,
+            config=fast_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    assert len(table.rows) == len(main_datasets)
+    assert len(table.headers) == 1 + 2 * 2

@@ -1,0 +1,33 @@
+"""Table 7 — per-algorithm cost ratios (normalized to Cilk) for g = 5.
+
+Regenerates the paper's Table 7: the geometric-mean cost ratio of BL-EST,
+ETF, Cilk, HDagg and every stage of our framework, per dataset, for the
+highest communication cost g = 5.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table07_algorithm_ratios(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_table7_algorithm_ratios(
+            main_datasets,
+            P_values=(2, 4),
+            g=5,
+            latency=5,
+            config=fast_config,
+        )
+
+    table = run_once(benchmark, run)
+    emit(table)
+    labels = table.headers[1:]
+    for row in table.rows:
+        ratios = dict(zip(labels, (float(x) for x in row[1:])))
+        # Shape checks mirroring the paper: Cilk is the normalization unit,
+        # our final stage beats every baseline, and the framework stages are
+        # monotone (Init >= HCcs >= ILPpart >= ILP).
+        assert ratios["Cilk"] == 1.0
+        assert ratios["ILP"] <= min(ratios["Cilk"], ratios["HDagg"]) + 1e-9
+        assert ratios["ILP"] <= ratios["ILPpart"] + 1e-9 <= ratios["HCcs"] + 1e-6 <= ratios["Init"] + 1e-6

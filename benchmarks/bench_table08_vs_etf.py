@@ -1,0 +1,27 @@
+"""Table 8 — cost reduction versus the ETF list scheduler on the tiny dataset.
+
+Regenerates the paper's Table 8: on the tiny dataset ETF is the strongest
+classical baseline, so the table reports the framework's improvement against
+ETF for every (g, P) combination.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table08_vs_etf(benchmark, tiny_dataset, fast_config, emit):
+    def run():
+        return paper_tables.make_table8_vs_etf(
+            tiny_dataset,
+            P_values=(2, 4),
+            g_values=(1, 5),
+            latency=5,
+            config=fast_config,
+        )
+
+    table = run_once(benchmark, run)
+    emit(table)
+    for row in table.rows:
+        for cell in row[1:]:
+            assert float(cell.rstrip("%")) > 0.0  # we beat ETF in every cell

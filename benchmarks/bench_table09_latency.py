@@ -1,0 +1,31 @@
+"""Table 9 — the effect of the latency parameter on the improvement.
+
+Regenerates the paper's Table 9: the framework's cost reduction versus Cilk
+and HDagg on the medium dataset for g = 1, P = 8 and latency values
+l in {2, 5, 10, 20}.  The paper's observation is that the improvement grows
+(slowly) with the latency.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table09_latency(benchmark, small_dataset, fast_config, emit):
+    def run():
+        return paper_tables.make_table9_latency(
+            small_dataset,
+            latencies=(2, 5, 10, 20),
+            P=4,
+            g=1,
+            config=fast_config,
+        )
+
+    table = run_once(benchmark, run)
+    emit(table)
+    reductions = [float(row[1].split("/")[0].strip().rstrip("%")) for row in table.rows]
+    assert len(reductions) == 4
+    assert all(r > 0 for r in reductions)
+    # The trend of the paper: higher latency -> at least as large improvement
+    # (allow a small tolerance, the trend is noisy at reduced scale).
+    assert reductions[-1] >= reductions[0] - 5.0

@@ -1,0 +1,30 @@
+"""Table 10 — per-(P, delta, dataset) improvement with NUMA effects.
+
+Regenerates the paper's Table 10: the framework's cost reduction versus Cilk
+and HDagg for every dataset and every (P, delta) combination of the NUMA
+hierarchy (g = 1, l = 5).
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table10_numa_detail(benchmark, main_datasets, fast_config, emit):
+    def run():
+        return paper_tables.make_table10_numa_detail(
+            main_datasets,
+            P_values=(8,),
+            delta_values=(2, 3, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    assert len(table.rows) == len(main_datasets)
+    # The paper's trend within each dataset: improvement grows with delta.
+    for row in table.rows:
+        reductions = [float(cell.split("/")[0].strip().rstrip("%")) for cell in row[1:]]
+        assert reductions[-1] >= reductions[0] - 5.0

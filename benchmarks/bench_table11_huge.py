@@ -1,0 +1,28 @@
+"""Table 11 — the huge dataset without NUMA (heuristics + local search only).
+
+Regenerates the paper's Table 11: on the largest DAGs the ILP stages are
+skipped and only the initializers plus HC/HCcs run; the table reports the
+cost reduction versus Cilk and HDagg per (g, P).
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table11_huge(benchmark, huge_dataset, heuristics_config, emit):
+    def run():
+        return paper_tables.make_table11_huge(
+            huge_dataset,
+            P_values=(4, 8),
+            g_values=(1, 5),
+            latency=5,
+            config=heuristics_config,
+        )
+
+    table, _grid = run_once(benchmark, run)
+    emit(table)
+    for row in table.rows:
+        for cell in row[1:]:
+            vs_cilk = float(cell.split("/")[0].strip().rstrip("%"))
+            assert vs_cilk > 0.0  # still beats Cilk without any ILP stage

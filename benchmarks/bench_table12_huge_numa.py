@@ -1,0 +1,27 @@
+"""Table 12 — the huge dataset with NUMA effects (heuristics + local search).
+
+Regenerates the paper's Table 12: the cost reduction of Init+HC+HCcs versus
+Cilk and HDagg on the huge dataset with the binary-tree NUMA hierarchy.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table12_huge_numa(benchmark, huge_dataset, heuristics_config, emit):
+    def run():
+        return paper_tables.make_table12_huge_numa(
+            huge_dataset,
+            P_values=(8,),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=heuristics_config,
+        )
+
+    table = run_once(benchmark, run)
+    emit(table)
+    for row in table.rows:
+        reductions = [float(cell.split("/")[0].strip().rstrip("%")) for cell in row[1:]]
+        assert all(r > 0 for r in reductions)

@@ -1,0 +1,36 @@
+"""Table 13 — multilevel variants (C15 / C30 / C_opt) versus the baselines.
+
+Regenerates the paper's Table 13: the cost reduction versus Cilk and HDagg
+of the multilevel scheduler run with a 15% coarsening ratio, a 30% ratio,
+and the best of the two, in the NUMA setting.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table13_ml_vs_baselines(benchmark, small_dataset, fast_config, multilevel_config, emit):
+    datasets = {"small": small_dataset}
+
+    def run():
+        return paper_tables.make_tables_13_and_14_multilevel_detail(
+            datasets,
+            P_values=(8,),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+            multilevel_config=multilevel_config,
+        )
+
+    table13, _table14, _grid = run_once(benchmark, run)
+    emit(table13)
+    assert [row[0] for row in table13.rows] == ["C15", "C30", "C_opt"]
+    # C_opt takes the better of the two coarsening ratios, so its reduction
+    # is at least as large as either single-ratio variant in every column.
+    for col in range(1, len(table13.headers)):
+        c15 = float(table13.rows[0][col].split("/")[0].strip().rstrip("%"))
+        c30 = float(table13.rows[1][col].split("/")[0].strip().rstrip("%"))
+        copt = float(table13.rows[2][col].split("/")[0].strip().rstrip("%"))
+        assert copt >= max(c15, c30) - 1e-6

@@ -1,0 +1,36 @@
+"""Table 14 — multilevel variants versus the base scheduling framework.
+
+Regenerates the paper's Table 14: the geometric-mean cost ratio of the
+multilevel scheduler (per coarsening variant) to the base framework's final
+schedule, in the NUMA setting.  Values below 1 mean the multilevel approach
+wins — in the paper this happens once the NUMA factor delta is large.
+"""
+
+from repro.experiments import tables as paper_tables
+
+from conftest import run_once
+
+
+def test_table14_ml_vs_base(benchmark, small_dataset, fast_config, multilevel_config, emit):
+    datasets = {"small": small_dataset}
+
+    def run():
+        return paper_tables.make_tables_13_and_14_multilevel_detail(
+            datasets,
+            P_values=(8,),
+            delta_values=(2, 4),
+            g=1,
+            latency=5,
+            config=fast_config,
+            multilevel_config=multilevel_config,
+        )
+
+    _table13, table14, _grid = run_once(benchmark, run)
+    emit(table14)
+    assert [row[0] for row in table14.rows] == ["C15", "C30", "C_opt"]
+    ratios = [[float(x) for x in row[1:]] for row in table14.rows]
+    # The paper's crossover: the ratio of ML to the base scheduler improves
+    # (gets smaller) as delta grows — the last column is the high-delta one.
+    copt = ratios[2]
+    assert copt[-1] <= copt[0] + 0.1
+    assert all(r > 0 for row in ratios for r in row)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multilevel scheduling for communication-dominated problems.
+
+When communication costs dominate (large NUMA factors, expensive per-unit
+communication), rescheduling single nodes — the strategy of the hill
+climbing and window-ILP stages — stops working: any lone node moved to
+another processor immediately pays more in traffic than it gains in
+parallelism.  The paper's answer is the multilevel scheduler: coarsen the
+DAG into clusters, schedule the small coarse DAG, then uncoarsen step by
+step while refining.
+
+This example reproduces that behaviour on a small instance: with a high NUMA
+factor the base framework barely beats (or even loses to) the trivial
+sequential schedule, while the multilevel scheduler finds a genuinely
+parallel solution.
+
+Run with:  python examples/multilevel_communication_heavy.py
+"""
+
+from repro import BspMachine, MultilevelConfig, PipelineConfig, multilevel_schedule, run_pipeline
+from repro.baselines import CilkScheduler, HDaggScheduler, TrivialScheduler
+from repro.graphs import cg_dag, communication_to_computation_ratio
+
+
+def main() -> None:
+    dag = cg_dag(6, k=2, q=0.3, seed=3)
+    machine = BspMachine.hierarchical(P=16, delta=4, g=2, l=5)
+    print(f"Workload: {dag.name} ({dag.n} nodes)")
+    print(f"Machine:  {machine.describe()}")
+    print(f"CCR (machine-weighted): {communication_to_computation_ratio(dag, machine):.2f}\n")
+
+    trivial = TrivialScheduler().schedule(dag, machine).cost()
+    cilk = CilkScheduler(seed=0).schedule(dag, machine).cost()
+    hdagg = HDaggScheduler().schedule(dag, machine).cost()
+
+    config = PipelineConfig.fast()
+    base = run_pipeline(dag, machine, config).final_cost
+
+    ml_config = MultilevelConfig(
+        coarsening_ratios=(0.3, 0.15),
+        base_pipeline=config,
+    )
+    ml_schedule, per_ratio = multilevel_schedule(dag, machine, ml_config)
+    ml = ml_schedule.cost()
+
+    print(f"{'scheduler':<22} {'cost':>10}")
+    print("-" * 34)
+    print(f"{'Trivial (sequential)':<22} {trivial:>10.0f}")
+    print(f"{'Cilk':<22} {cilk:>10.0f}")
+    print(f"{'HDagg':<22} {hdagg:>10.0f}")
+    print(f"{'base framework':<22} {base:>10.0f}")
+    for ratio, cost in sorted(per_ratio.items()):
+        print(f"{'multilevel @ ' + format(ratio, 'g'):<22} {cost:>10.0f}")
+    print(f"{'multilevel (best)':<22} {ml:>10.0f}")
+
+    print(
+        "\nIn this communication-dominated regime the baselines (and often the"
+        "\nbase framework) cannot beat simply running everything sequentially;"
+        "\nthe multilevel scheduler moves whole clusters at a time and finds a"
+        "\nschedule that is actually worth parallelizing."
+    )
+    assert ml_schedule.is_valid()
+
+
+if __name__ == "__main__":
+    main()

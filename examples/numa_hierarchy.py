@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""NUMA-aware scheduling: how the hierarchy changes the best schedule.
+
+The paper's central argument is that realistic machine models — here the BSP
+model extended with a binary-tree NUMA hierarchy — change which schedules
+are good, and that schedulers which ignore those costs (Cilk, list
+schedulers, HDagg) leave large factors on the table.
+
+This example schedules the same iterated sparse matrix-vector multiplication
+on machines with increasing NUMA factors (delta = 1, 2, 4) and reports how
+the gap between the baselines and the cost-aware framework grows.
+
+Run with:  python examples/numa_hierarchy.py
+"""
+
+from repro import BspMachine, PipelineConfig, run_pipeline
+from repro.baselines import CilkScheduler, HDaggScheduler
+from repro.graphs import exp_dag
+
+
+def main() -> None:
+    dag = exp_dag(8, k=3, q=0.3, seed=7)
+    print(f"Workload: {dag.name} ({dag.n} nodes, {dag.num_edges} edges)\n")
+
+    config = PipelineConfig.fast()
+    print(f"{'delta':>6} | {'Cilk':>9} | {'HDagg':>9} | {'ours':>9} | {'vs Cilk':>8} | {'vs HDagg':>8}")
+    print("-" * 66)
+    for delta in (1, 2, 4):
+        if delta == 1:
+            machine = BspMachine(P=8, g=1, l=5)  # uniform BSP
+        else:
+            machine = BspMachine.hierarchical(P=8, delta=delta, g=1, l=5)
+        cilk = CilkScheduler(seed=0).schedule(dag, machine).cost()
+        hdagg = HDaggScheduler().schedule(dag, machine).cost()
+        ours = run_pipeline(dag, machine, config).final_cost
+        print(
+            f"{delta:>6} | {cilk:>9.0f} | {hdagg:>9.0f} | {ours:>9.0f} | "
+            f"{100 * (1 - ours / cilk):>7.0f}% | {100 * (1 - ours / hdagg):>7.0f}%"
+        )
+
+    print(
+        "\nThe improvement over both baselines grows with the NUMA factor: the"
+        "\nbaselines place nodes without looking at lambda, so their schedules"
+        "\nkeep paying for traffic across the top of the hierarchy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline tables from the command line.
+
+The benchmark harness under ``benchmarks/`` regenerates every table and
+figure; this example exposes the same machinery as a small CLI so that a
+single table can be reproduced interactively, at a chosen scale.
+
+Examples::
+
+    python examples/reproduce_paper_tables.py --table 1 --scale smoke
+    python examples/reproduce_paper_tables.py --table 2 --scale reduced
+    python examples/reproduce_paper_tables.py --table 3
+"""
+
+import argparse
+
+from repro.experiments import tables as paper_tables
+from repro.experiments.datasets import build_dataset
+from repro.pipeline.config import MultilevelConfig, PipelineConfig
+
+
+def build_datasets(scale: str, instances: int):
+    names = ["tiny", "small"] if scale == "smoke" else ["tiny", "small", "medium"]
+    return {name: build_dataset(name, scale=scale, max_instances=instances) for name in names}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", type=int, default=1, choices=(1, 2, 3),
+                        help="which paper table to regenerate (1, 2 or 3)")
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"),
+                        help="dataset scale (smoke is laptop-friendly)")
+    parser.add_argument("--instances", type=int, default=2,
+                        help="instances per dataset")
+    args = parser.parse_args()
+
+    datasets = build_datasets(args.scale, args.instances)
+    config = PipelineConfig.fast() if args.scale == "smoke" else PipelineConfig()
+
+    if args.table == 1:
+        by_p, by_dataset, _ = paper_tables.make_table1_no_numa(
+            datasets, P_values=(2, 4), g_values=(1, 3, 5), latency=5, config=config
+        )
+        print(by_p.to_text())
+        print()
+        print(by_dataset.to_text())
+    elif args.table == 2:
+        table, _ = paper_tables.make_table2_numa(
+            datasets, P_values=(4, 8), delta_values=(2, 3, 4), g=1, latency=5, config=config
+        )
+        print(table.to_text())
+    else:
+        ml_config = MultilevelConfig(base_pipeline=config)
+        table, _ = paper_tables.make_table3_multilevel(
+            datasets, P_values=(8,), delta_values=(2, 3, 4), g=1, latency=5,
+            config=config, multilevel_config=ml_config,
+        )
+        print(table.to_text())
+
+    print("\nNote: at reduced scales the absolute numbers differ from the paper;")
+    print("the qualitative shape (who wins, and how the gap grows with g, P and")
+    print("delta) is what this reproduction targets — see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

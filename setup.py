@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that the package installs in environments whose pip/setuptools/wheel
+combination cannot build editable wheels (PEP 660) offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of "Efficient Multi-Processor Scheduling in
+Increasingly Realistic Models" (Papp, Anegg, Karanasiou, Yzelman; SPAA 2024).
+
+The package implements the paper's NUMA-extended BSP scheduling model, its
+computational-DAG database generators, every baseline and every scheduling
+algorithm of the proposed framework (initialization heuristics, hill-climbing
+local search, ILP-based methods, the multilevel scheduler), and an experiment
+harness that regenerates the paper's tables and figures.
+
+Quick start::
+
+    from repro import BspMachine, spmv_dag, run_pipeline
+    from repro.baselines import CilkScheduler
+
+    dag = spmv_dag(30, q=0.2, seed=0)
+    machine = BspMachine(P=4, g=3, l=5)
+    result = run_pipeline(dag, machine)
+    print("ours:", result.final_cost, " cilk:", CilkScheduler().schedule(dag, machine).cost())
+"""
+
+from .graphs import (
+    ComputationalDAG,
+    cg_dag,
+    coarse_conjugate_gradient,
+    coarse_pagerank,
+    dag_statistics,
+    exp_dag,
+    knn_dag,
+    read_hyperdag,
+    spmv_dag,
+    write_hyperdag,
+)
+from .model import (
+    BspMachine,
+    BspSchedule,
+    ClassicalSchedule,
+    CommSchedule,
+    CostBreakdown,
+    classical_to_bsp,
+    evaluate,
+)
+from .pipeline import (
+    AdaptiveScheduler,
+    FrameworkScheduler,
+    MultilevelConfig,
+    PipelineConfig,
+    PipelineResult,
+    run_pipeline,
+)
+from .multilevel import MultilevelScheduler, multilevel_schedule
+from .model import describe_schedule, schedule_to_text_gantt
+from .registry import available_schedulers, make_scheduler
+from .scheduler import Scheduler, SchedulingError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "ComputationalDAG",
+    "spmv_dag",
+    "exp_dag",
+    "cg_dag",
+    "knn_dag",
+    "coarse_conjugate_gradient",
+    "coarse_pagerank",
+    "dag_statistics",
+    "read_hyperdag",
+    "write_hyperdag",
+    # model
+    "BspMachine",
+    "BspSchedule",
+    "CommSchedule",
+    "CostBreakdown",
+    "evaluate",
+    "ClassicalSchedule",
+    "classical_to_bsp",
+    # scheduling
+    "Scheduler",
+    "SchedulingError",
+    "PipelineConfig",
+    "MultilevelConfig",
+    "run_pipeline",
+    "PipelineResult",
+    "FrameworkScheduler",
+    "AdaptiveScheduler",
+    "MultilevelScheduler",
+    "multilevel_schedule",
+    "make_scheduler",
+    "available_schedulers",
+    "describe_schedule",
+    "schedule_to_text_gantt",
+]

@@ -1,0 +1,17 @@
+"""Baseline schedulers the paper compares against."""
+
+from .cilk import CilkScheduler, simulate_work_stealing
+from .hdagg import HDaggScheduler
+from .list_schedulers import BlEstScheduler, EtfScheduler, list_schedule
+from .trivial import LevelRoundRobinScheduler, TrivialScheduler
+
+__all__ = [
+    "CilkScheduler",
+    "simulate_work_stealing",
+    "BlEstScheduler",
+    "EtfScheduler",
+    "list_schedule",
+    "HDaggScheduler",
+    "TrivialScheduler",
+    "LevelRoundRobinScheduler",
+]

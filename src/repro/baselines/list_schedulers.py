@@ -1,0 +1,137 @@
+"""BL-EST and ETF list schedulers with communication volume.
+
+These are the strongest classical list-scheduling baselines identified by
+recent comparison studies and already extended with communication volume by
+Özkaya et al.; the paper uses exactly those versions (Section 4.1, Appendix
+A.1).  Both schedulers repeatedly pick a ready node and place it on the
+processor offering the earliest start time (EST), where the EST accounts for
+the time needed to transfer each predecessor's output across processors
+(``g * c(u)``, multiplied by the *average* NUMA coefficient when NUMA
+effects are present — the baselines are deliberately not NUMA-aware).
+
+* **BL-EST** selects the ready node with the largest *bottom level* (longest
+  outgoing path by work weight) and then the EST-minimizing processor.
+* **ETF** (Earliest Task First) selects, among all (ready node, processor)
+  pairs, the pair with the smallest EST; ties are broken by bottom level.
+
+Both produce classical time-based schedules that are converted to BSP
+supersteps with :func:`repro.model.classical.classical_to_bsp`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.classical import ClassicalSchedule, classical_to_bsp
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from ..scheduler import Scheduler
+
+__all__ = ["BlEstScheduler", "EtfScheduler", "list_schedule"]
+
+
+def _comm_delay_factor(machine: BspMachine) -> float:
+    """Per-unit communication delay the list schedulers assume.
+
+    The classical extension uses ``g`` per unit of data; with NUMA effects
+    the baselines multiply by the average pairwise coefficient (they have no
+    notion of which pair of processors will actually communicate).
+    """
+    factor = float(machine.g)
+    if not machine.is_uniform:
+        factor *= machine.average_coefficient()
+    elif machine.P > 1:
+        factor *= 1.0
+    return factor
+
+
+def list_schedule(
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    policy: str = "bl-est",
+) -> ClassicalSchedule:
+    """Run the BL-EST or ETF list-scheduling policy.
+
+    Parameters
+    ----------
+    policy:
+        ``"bl-est"`` or ``"etf"``.
+    """
+    if policy not in ("bl-est", "etf"):
+        raise ValueError("policy must be 'bl-est' or 'etf'")
+    n = dag.n
+    P = machine.P
+    proc = np.zeros(n, dtype=np.int64)
+    start = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return ClassicalSchedule(dag, machine, proc, start)
+
+    delay = _comm_delay_factor(machine)
+    bottom = dag.bottom_level()
+    finish = np.zeros(n, dtype=np.float64)
+    proc_ready = np.zeros(P, dtype=np.float64)
+    remaining_parents = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
+    ready: Set[int] = {v for v in range(n) if remaining_parents[v] == 0}
+    placed = np.zeros(n, dtype=bool)
+
+    def est(v: int, p: int) -> float:
+        t = float(proc_ready[p])
+        for u in dag.parents(v):
+            if proc[u] == p:
+                t = max(t, float(finish[u]))
+            else:
+                t = max(t, float(finish[u]) + delay * float(dag.comm[u]))
+        return t
+
+    for _ in range(n):
+        if not ready:
+            raise RuntimeError("list scheduler ran out of ready nodes prematurely")
+        if policy == "bl-est":
+            # Highest bottom level first; break ties by node id for determinism.
+            v = max(ready, key=lambda x: (bottom[x], -x))
+            best_p = min(range(P), key=lambda p: (est(v, p), p))
+            best_t = est(v, best_p)
+        else:  # ETF
+            best: Optional[Tuple[float, float, int, int]] = None
+            for v_cand in ready:
+                for p in range(P):
+                    t = est(v_cand, p)
+                    key = (t, -float(bottom[v_cand]), v_cand, p)
+                    if best is None or key < best:
+                        best = key
+            assert best is not None
+            best_t, _, v, best_p = best
+        ready.discard(v)
+        placed[v] = True
+        proc[v] = best_p
+        start[v] = best_t
+        finish[v] = best_t + float(dag.work[v])
+        proc_ready[best_p] = finish[v]
+        for child in dag.children(v):
+            remaining_parents[child] -= 1
+            if remaining_parents[child] == 0:
+                ready.add(child)
+
+    return ClassicalSchedule(dag, machine, proc, start)
+
+
+class BlEstScheduler(Scheduler):
+    """Bottom-Level / Earliest-Start-Time list scheduler."""
+
+    name = "BL-EST"
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        return classical_to_bsp(list_schedule(dag, machine, policy="bl-est"))
+
+
+class EtfScheduler(Scheduler):
+    """Earliest Task First list scheduler."""
+
+    name = "ETF"
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        return classical_to_bsp(list_schedule(dag, machine, policy="etf"))

@@ -1,0 +1,49 @@
+"""Trivial baselines: sequential execution and plain work-balancing.
+
+The *trivial* scheduler assigns every node to processor 0 in superstep 0 —
+a sequential execution with no communication and a single latency charge.
+The paper uses it as the sanity bar in communication-dominated settings
+(Section 7.3): a scheduler that cannot beat it has effectively failed to
+parallelize the computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from ..scheduler import Scheduler
+
+__all__ = ["TrivialScheduler", "LevelRoundRobinScheduler"]
+
+
+class TrivialScheduler(Scheduler):
+    """Everything on one processor in one superstep."""
+
+    name = "Trivial"
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        return BspSchedule.trivial(dag, machine)
+
+
+class LevelRoundRobinScheduler(Scheduler):
+    """Naive reference scheduler: one superstep per DAG level, nodes assigned
+    round-robin.
+
+    Not part of the paper's comparison, but a useful, trivially-correct
+    reference point for tests (it always yields a valid schedule) and for
+    sanity-checking the cost model.
+    """
+
+    name = "LevelRR"
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        proc = np.zeros(dag.n, dtype=np.int64)
+        step = np.zeros(dag.n, dtype=np.int64)
+        for level, nodes in enumerate(dag.level_sets()):
+            for i, v in enumerate(nodes):
+                proc[v] = i % machine.P
+                step[v] = level
+        return BspSchedule(dag, machine, proc, step)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands cover the workflows a downstream user needs most often:
+
+``schedule``
+    Schedule a computational DAG (a hyperDAG file or a generated instance)
+    on a described machine with any registered scheduler and print the cost
+    breakdown, optionally comparing several schedulers side by side.
+
+``generate``
+    Generate a computational DAG with one of the paper's generators and
+    write it to a hyperDAG file.
+
+``info``
+    Print structural statistics of a hyperDAG file.
+
+Examples::
+
+    python -m repro generate --kind spmv --size 12 --out spmv.hdag
+    python -m repro info spmv.hdag
+    python -m repro schedule spmv.hdag -P 4 -g 3 -l 5 --scheduler framework --compare cilk hdagg
+    python -m repro schedule --kind cg --size 8 -P 8 -g 1 -l 5 --delta 3 --scheduler multilevel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .graphs.analysis import dag_statistics
+from .graphs.coarse import COARSE_GRAINED_GENERATORS, generate_coarse_grained
+from .graphs.dag import ComputationalDAG
+from .graphs.fine import FINE_GRAINED_GENERATORS, generate_fine_grained
+from .graphs.hyperdag import read_hyperdag, write_hyperdag
+from .model.inspect import describe_schedule, schedule_to_text_gantt
+from .model.machine import BspMachine
+from .registry import available_schedulers, make_scheduler
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _load_or_generate_dag(args: argparse.Namespace) -> ComputationalDAG:
+    if getattr(args, "dag_file", None):
+        return read_hyperdag(args.dag_file)
+    if not getattr(args, "kind", None):
+        raise SystemExit("either a hyperDAG file or --kind must be given")
+    return _generate(args.kind, args.size, args.iterations, args.density, args.seed)
+
+
+def _generate(kind: str, size: int, iterations: int, density: float, seed: int) -> ComputationalDAG:
+    if kind in FINE_GRAINED_GENERATORS:
+        kwargs = {"n": size, "q": density, "seed": seed}
+        if kind != "spmv":
+            kwargs["k"] = iterations
+        return generate_fine_grained(kind, **kwargs)
+    if kind in COARSE_GRAINED_GENERATORS:
+        return generate_coarse_grained(kind, iterations=iterations)
+    raise SystemExit(
+        f"unknown DAG kind {kind!r}; fine-grained: {sorted(FINE_GRAINED_GENERATORS)}, "
+        f"coarse-grained: {sorted(COARSE_GRAINED_GENERATORS)}"
+    )
+
+
+def _build_machine(args: argparse.Namespace) -> BspMachine:
+    if args.delta is not None:
+        return BspMachine.hierarchical(P=args.processors, delta=args.delta, g=args.g, l=args.latency)
+    return BspMachine(P=args.processors, g=args.g, l=args.latency)
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-P", "--processors", type=int, default=4, help="number of processors")
+    parser.add_argument("-g", type=float, default=1.0, help="per-unit communication cost")
+    parser.add_argument("-l", "--latency", type=float, default=5.0, help="per-superstep latency")
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="NUMA factor of a binary-tree hierarchy (omit for a uniform machine)",
+    )
+
+
+def _add_generator_arguments(parser: argparse.ArgumentParser, require_kind: bool) -> None:
+    parser.add_argument(
+        "--kind",
+        required=require_kind,
+        help="generator to use (spmv, exp, cg, knn, pagerank, bicgstab, ...)",
+    )
+    parser.add_argument("--size", type=int, default=10, help="matrix dimension for fine-grained kinds")
+    parser.add_argument("--iterations", type=int, default=3, help="iteration count (exp/cg/knn/coarse kinds)")
+    parser.add_argument("--density", type=float, default=0.25, help="nonzero probability of the random matrix")
+    parser.add_argument("--seed", type=int, default=0, help="random seed of the generator")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BSP+NUMA DAG scheduling (reproduction of Papp et al., SPAA 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # schedule ----------------------------------------------------------
+    p_sched = sub.add_parser("schedule", help="schedule a DAG and print the cost breakdown")
+    p_sched.add_argument("dag_file", nargs="?", help="hyperDAG file (omit to use --kind)")
+    _add_generator_arguments(p_sched, require_kind=False)
+    _add_machine_arguments(p_sched)
+    p_sched.add_argument(
+        "--scheduler",
+        default="framework",
+        help=f"scheduler to run (one of: {', '.join(available_schedulers())})",
+    )
+    p_sched.add_argument(
+        "--compare",
+        nargs="*",
+        default=[],
+        metavar="SCHEDULER",
+        help="additional schedulers to run for comparison",
+    )
+    p_sched.add_argument("--gantt", action="store_true", help="print a text Gantt view of the schedule")
+    p_sched.add_argument("--out", help="write the scheduled DAG assignment to this file (CSV)")
+
+    # generate ----------------------------------------------------------
+    p_gen = sub.add_parser("generate", help="generate a computational DAG and write a hyperDAG file")
+    _add_generator_arguments(p_gen, require_kind=True)
+    p_gen.add_argument("--out", required=True, help="output hyperDAG file")
+
+    # info ---------------------------------------------------------------
+    p_info = sub.add_parser("info", help="print statistics of a hyperDAG file")
+    p_info.add_argument("dag_file", help="hyperDAG file")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _command_schedule(args: argparse.Namespace) -> int:
+    dag = _load_or_generate_dag(args)
+    machine = _build_machine(args)
+    names = [args.scheduler] + list(args.compare)
+    results = []
+    for name in names:
+        scheduler = make_scheduler(name)
+        schedule = scheduler.schedule_checked(dag, machine)
+        results.append((name, schedule))
+
+    primary_name, primary = results[0]
+    print(describe_schedule(primary, name=f"{primary_name} schedule"))
+    if args.gantt:
+        print()
+        print(schedule_to_text_gantt(primary))
+
+    if len(results) > 1:
+        print("\ncomparison (total cost, lower is better):")
+        baseline_cost = results[0][1].cost()
+        for name, schedule in results:
+            cost = schedule.cost()
+            rel = cost / baseline_cost if baseline_cost else float("nan")
+            print(f"  {name:<16} {cost:>12.1f}   ({rel:.2f}x of {primary_name})")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("node,processor,superstep\n")
+            for v in range(dag.n):
+                handle.write(f"{v},{int(primary.proc[v])},{int(primary.step[v])}\n")
+        print(f"\nwrote assignment of {dag.n} nodes to {args.out}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dag = _generate(args.kind, args.size, args.iterations, args.density, args.seed)
+    write_hyperdag(dag, args.out, comment=f"generated by `python -m repro generate --kind {args.kind}`")
+    stats = dag_statistics(dag)
+    print(f"wrote {args.out}: {stats.num_nodes} nodes, {stats.num_edges} edges, depth {stats.depth}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    dag = read_hyperdag(args.dag_file)
+    stats = dag_statistics(dag).as_dict()
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{key.ljust(width)} : {value}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    if args.command == "schedule":
+        return _command_schedule(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "info":
+        return _command_info(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

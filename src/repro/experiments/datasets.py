@@ -1,0 +1,235 @@
+"""Dataset construction for the experiments (paper Section 6, Appendix B.3).
+
+The paper builds a training set plus five test datasets (``tiny``, ``small``,
+``medium``, ``large`` and ``huge``) from fine-grained instances generated for
+the four kernels (spmv, exp, cg, kNN) with varying matrix sizes and iteration
+counts ("wider" and "deeper" DAGs), and adds the coarse-grained database
+instances whose size fits the interval.
+
+Because this reproduction is a pure-Python, CI-friendly build, the *default*
+size intervals are scaled down (``scale="reduced"``); ``scale="paper"``
+restores the paper's node ranges.  The dataset composition rules — kernels at
+the beginning / middle / end of each interval, a deep and a wide variant per
+iterative kernel, plus coarse-grained instances — follow the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.coarse import (
+    coarse_bicgstab,
+    coarse_conjugate_gradient,
+    coarse_khop,
+    coarse_label_propagation,
+    coarse_pagerank,
+)
+from ..graphs.dag import ComputationalDAG
+from ..graphs.fine import cg_dag, exp_dag, knn_dag, spmv_dag
+
+__all__ = [
+    "DATASET_RANGES",
+    "dataset_range",
+    "build_dataset",
+    "build_training_set",
+    "fit_fine_grained",
+]
+
+
+#: Node-count intervals per dataset and scale.
+DATASET_RANGES: Dict[str, Dict[str, Tuple[int, int]]] = {
+    "paper": {
+        "tiny": (40, 80),
+        "small": (250, 500),
+        "medium": (1000, 2000),
+        "large": (5000, 10000),
+        "huge": (50000, 100000),
+    },
+    "reduced": {
+        "tiny": (40, 80),
+        "small": (100, 220),
+        "medium": (250, 550),
+        "large": (700, 1400),
+        "huge": (2000, 4000),
+    },
+    # An even smaller scale used by the test-suite / smoke benchmarks.
+    "smoke": {
+        "tiny": (25, 60),
+        "small": (60, 120),
+        "medium": (120, 240),
+        "large": (240, 480),
+        "huge": (480, 900),
+    },
+}
+
+
+def dataset_range(name: str, scale: str = "reduced") -> Tuple[int, int]:
+    """Node-count interval of a dataset at the given scale."""
+    try:
+        ranges = DATASET_RANGES[scale]
+    except KeyError as exc:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(DATASET_RANGES)}") from exc
+    try:
+        return ranges[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(ranges)}") from exc
+
+
+# ----------------------------------------------------------------------
+# Fitting generator parameters to a target node count
+# ----------------------------------------------------------------------
+def fit_fine_grained(
+    kind: str,
+    target_nodes: int,
+    *,
+    deep: bool = False,
+    seed: int = 0,
+    tolerance: float = 0.35,
+    max_attempts: int = 12,
+) -> ComputationalDAG:
+    """Generate a fine-grained DAG whose size is close to ``target_nodes``.
+
+    ``deep=True`` favours more iterations (a deeper DAG) over a larger
+    matrix, producing the paper's "deeper" variants; ``deep=False`` produces
+    the "wider" variants.  The matrix dimension is adjusted multiplicatively
+    until the generated DAG is within ``tolerance`` of the target (or the
+    attempt budget runs out, in which case the closest DAG seen is returned).
+    """
+    if target_nodes < 5:
+        raise ValueError("target_nodes too small for the fine-grained generators")
+    q = 0.25
+    if kind == "spmv":
+        iterations = None
+    elif kind in ("exp", "knn"):
+        iterations = 6 if deep else 2
+    elif kind == "cg":
+        iterations = 4 if deep else 2
+    else:
+        raise ValueError(f"unknown fine-grained kernel {kind!r}")
+
+    # Initial guess for the matrix dimension from a rough node-count model.
+    if kind == "spmv":
+        guess = max(4, int((target_nodes / (2 + 2 * q * 8)) ** 0.5) + 3)
+    else:
+        guess = max(4, int((target_nodes / (max(iterations, 1) * (1 + 2 * q * 6))) ** 0.5) + 3)
+
+    best: Optional[ComputationalDAG] = None
+    best_err = float("inf")
+    N = guess
+    for attempt in range(max_attempts):
+        if kind == "spmv":
+            dag = spmv_dag(N, q=q, seed=seed, name=f"spmv_N{N}")
+        elif kind == "exp":
+            dag = exp_dag(N, k=iterations, q=q, seed=seed, name=f"exp_N{N}_k{iterations}")
+        elif kind == "knn":
+            dag = knn_dag(N, k=iterations, q=q, seed=seed, name=f"knn_N{N}_k{iterations}")
+        else:
+            dag = cg_dag(N, k=iterations, q=q, seed=seed, name=f"cg_N{N}_k{iterations}")
+        err = abs(dag.n - target_nodes) / target_nodes
+        if err < best_err:
+            best, best_err = dag, err
+        if err <= tolerance:
+            break
+        # Multiplicative adjustment of the matrix dimension.
+        factor = (target_nodes / max(dag.n, 1)) ** 0.5
+        new_N = max(3, int(round(N * factor)))
+        if new_N == N:
+            new_N = N + (1 if dag.n < target_nodes else -1)
+        N = max(3, new_N)
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# Coarse-grained instances sized to an interval
+# ----------------------------------------------------------------------
+_COARSE_BUILDERS: List[Tuple[str, Callable[[int], ComputationalDAG], int, int]] = [
+    # (name, builder taking #iterations, nodes per iteration, fixed overhead)
+    ("coarse_cg", lambda it: coarse_conjugate_gradient(it), 8, 7),
+    ("coarse_bicgstab", lambda it: coarse_bicgstab(it), 10, 8),
+    ("coarse_pagerank", lambda it: coarse_pagerank(it), 5, 4),
+    ("coarse_labelprop", lambda it: coarse_label_propagation(it), 4, 2),
+    ("coarse_khop", lambda it: coarse_khop(it), 3, 3),
+]
+
+
+def _coarse_instances_in_range(lo: int, hi: int, limit: int) -> List[ComputationalDAG]:
+    out: List[ComputationalDAG] = []
+    for (name, builder, per_it, overhead) in _COARSE_BUILDERS:
+        if len(out) >= limit:
+            break
+        target = (lo + hi) // 2
+        iterations = max(1, (target - overhead) // per_it)
+        dag = builder(iterations)
+        if lo <= dag.n <= hi:
+            out.append(dag)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dataset builders
+# ----------------------------------------------------------------------
+def build_dataset(
+    name: str,
+    scale: str = "reduced",
+    *,
+    seed: int = 0,
+    max_instances: Optional[int] = None,
+    include_coarse: bool = True,
+) -> List[ComputationalDAG]:
+    """Build one of the named datasets (``tiny``/``small``/``medium``/``large``/``huge``).
+
+    The composition follows the paper: for each of the four fine-grained
+    kernels, instances near the beginning, middle and end of the node-count
+    interval; for the iterative kernels additionally a *deep* and a *wide*
+    variant (except in ``tiny`` where only one variant fits); plus the
+    coarse-grained instances whose size falls into the interval.
+    ``max_instances`` truncates the list (used by the smoke benchmarks).
+    """
+    lo, hi = dataset_range(name, scale)
+    anchors = [lo, (lo + hi) // 2, hi]
+    dags: List[ComputationalDAG] = []
+    rng_seed = seed
+
+    for kind in ("spmv", "exp", "cg", "knn"):
+        variants = [False] if (kind == "spmv" or name == "tiny") else [False, True]
+        for deep in variants:
+            for anchor in anchors:
+                if max_instances is not None and len(dags) >= max_instances:
+                    break
+                dag = fit_fine_grained(kind, anchor, deep=deep, seed=rng_seed)
+                suffix = "deep" if deep else "wide"
+                dag.name = f"{name}_{kind}_{suffix}_{anchor}"
+                dags.append(dag)
+                rng_seed += 1
+
+    if include_coarse and (max_instances is None or len(dags) < max_instances):
+        budget = 4 if name == "tiny" else 3
+        dags.extend(_coarse_instances_in_range(lo, hi, budget))
+
+    if max_instances is not None:
+        dags = dags[:max_instances]
+    return dags
+
+
+def build_training_set(scale: str = "reduced", seed: int = 100) -> List[ComputationalDAG]:
+    """The small training set used to tune the initializers (Appendix C.1).
+
+    Ten fine-grained instances spanning a wide size range: a few shallow spmv
+    DAGs plus deep/wide exp, cg and kNN instances.
+    """
+    if scale == "paper":
+        sizes = [15, 60, 150, 300, 500, 800, 1200, 1500, 1800, 2000]
+    elif scale == "reduced":
+        sizes = [15, 40, 80, 120, 180, 240, 320, 400, 500, 600]
+    else:  # smoke
+        sizes = [15, 25, 40, 60, 80, 100, 120, 150, 180, 200]
+    kinds = ["spmv", "spmv", "spmv", "exp", "exp", "cg", "cg", "knn", "knn", "exp"]
+    deeps = [False, False, False, False, True, False, True, False, True, True]
+    dags = []
+    for i, (kind, size, deep) in enumerate(zip(kinds, sizes, deeps)):
+        dag = fit_fine_grained(kind, size, deep=deep, seed=seed + i)
+        dag.name = f"train_{kind}_{size}"
+        dags.append(dag)
+    return dags

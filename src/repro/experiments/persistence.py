@@ -1,0 +1,137 @@
+"""Saving and loading experiment results.
+
+The paper's artifact ships the raw data of its experiment runs alongside the
+code; this module provides the same convenience for the reproduction: every
+:class:`~repro.experiments.runner.ExperimentResult` (and schedules
+themselves) can be serialized to JSON, so long experiment sweeps can be run
+once and re-aggregated or re-plotted later without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..model.comm import CommSchedule
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from ..graphs.dag import ComputationalDAG
+from .runner import ExperimentResult, InstanceResult
+
+__all__ = [
+    "experiment_to_dict",
+    "experiment_from_dict",
+    "save_experiment",
+    "load_experiment",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Machines
+# ----------------------------------------------------------------------
+def _machine_to_dict(machine: BspMachine) -> dict:
+    return {
+        "P": machine.P,
+        "g": machine.g,
+        "l": machine.l,
+        "numa": np.asarray(machine.numa).tolist(),
+    }
+
+
+def _machine_from_dict(data: dict) -> BspMachine:
+    return BspMachine(P=int(data["P"]), g=float(data["g"]), l=float(data["l"]),
+                      numa=np.asarray(data["numa"], dtype=float))
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: BspSchedule) -> dict:
+    """JSON-serializable representation of a schedule (incl. its DAG)."""
+    dag = schedule.dag
+    payload = {
+        "dag": {
+            "name": dag.name,
+            "n": dag.n,
+            "edges": [list(e) for e in dag.edges],
+            "work": np.asarray(dag.work).tolist(),
+            "comm": np.asarray(dag.comm).tolist(),
+        },
+        "machine": _machine_to_dict(schedule.machine),
+        "proc": np.asarray(schedule.proc).tolist(),
+        "step": np.asarray(schedule.step).tolist(),
+        "comm_schedule": sorted(list(e) for e in schedule.comm) if schedule.comm is not None else None,
+    }
+    return payload
+
+
+def schedule_from_dict(data: dict) -> BspSchedule:
+    """Rebuild a schedule written by :func:`schedule_to_dict`."""
+    dag_data = data["dag"]
+    dag = ComputationalDAG(
+        int(dag_data["n"]),
+        [tuple(e) for e in dag_data["edges"]],
+        dag_data["work"],
+        dag_data["comm"],
+        name=dag_data.get("name", "dag"),
+    )
+    machine = _machine_from_dict(data["machine"])
+    comm = None
+    if data.get("comm_schedule") is not None:
+        comm = CommSchedule({tuple(int(x) for x in entry) for entry in data["comm_schedule"]})
+    return BspSchedule(dag, machine, np.asarray(data["proc"]), np.asarray(data["step"]), comm)
+
+
+# ----------------------------------------------------------------------
+# Experiments
+# ----------------------------------------------------------------------
+def experiment_to_dict(experiment: ExperimentResult) -> dict:
+    """JSON-serializable representation of an experiment run."""
+    return {
+        "machine_description": experiment.machine_description,
+        "instances": [
+            {
+                "dag_name": inst.dag_name,
+                "num_nodes": inst.num_nodes,
+                "machine": _machine_to_dict(inst.machine),
+                "costs": dict(inst.costs),
+                "best_initializer": inst.best_initializer,
+                "initializer_costs": dict(inst.initializer_costs),
+            }
+            for inst in experiment.instances
+        ],
+    }
+
+
+def experiment_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild an experiment written by :func:`experiment_to_dict`."""
+    experiment = ExperimentResult(machine_description=data["machine_description"])
+    for inst in data["instances"]:
+        experiment.instances.append(
+            InstanceResult(
+                dag_name=inst["dag_name"],
+                num_nodes=int(inst["num_nodes"]),
+                machine=_machine_from_dict(inst["machine"]),
+                costs={k: float(v) for k, v in inst["costs"].items()},
+                best_initializer=inst.get("best_initializer", ""),
+                initializer_costs={k: float(v) for k, v in inst.get("initializer_costs", {}).items()},
+            )
+        )
+    return experiment
+
+
+def save_experiment(experiment: ExperimentResult, path: PathLike) -> None:
+    """Write an experiment result to a JSON file."""
+    Path(path).write_text(json.dumps(experiment_to_dict(experiment), indent=2))
+
+
+def load_experiment(path: PathLike) -> ExperimentResult:
+    """Read an experiment result from a JSON file."""
+    return experiment_from_dict(json.loads(Path(path).read_text()))

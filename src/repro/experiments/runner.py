@@ -1,0 +1,161 @@
+"""Experiment runner: run schedulers on instances and aggregate cost ratios.
+
+The paper evaluates every scheduler by the ratio of its schedule cost to the
+cost of the ``Cilk`` baseline on the same instance, aggregated over a dataset
+with the geometric mean (Section 7).  This module runs the baselines, the
+pipeline stages and (optionally) the multilevel scheduler on a set of
+instances and produces exactly those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.cilk import CilkScheduler
+from ..baselines.hdagg import HDaggScheduler
+from ..baselines.list_schedulers import BlEstScheduler, EtfScheduler
+from ..baselines.trivial import TrivialScheduler
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..multilevel.scheduler import multilevel_schedule
+from ..pipeline.config import MultilevelConfig, PipelineConfig
+from ..pipeline.framework import run_pipeline
+from .report import geometric_mean
+
+__all__ = [
+    "InstanceResult",
+    "ExperimentResult",
+    "run_instance",
+    "run_experiment",
+    "stage_ratio_summary",
+]
+
+#: Stage / algorithm labels used throughout the tables.
+BASELINE_LABELS = ("Cilk", "HDagg", "BL-EST", "ETF", "Trivial")
+STAGE_LABELS = ("Init", "HCcs", "ILP")
+
+
+@dataclass
+class InstanceResult:
+    """Costs of every algorithm on a single (DAG, machine) instance."""
+
+    dag_name: str
+    num_nodes: int
+    machine: BspMachine
+    costs: Dict[str, float] = field(default_factory=dict)
+    best_initializer: str = ""
+    initializer_costs: Dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, label: str, baseline: str = "Cilk") -> float:
+        """Cost ratio of ``label`` to ``baseline`` on this instance."""
+        return self.costs[label] / self.costs[baseline]
+
+
+@dataclass
+class ExperimentResult:
+    """Results of one experiment configuration over a list of instances."""
+
+    machine_description: str
+    instances: List[InstanceResult] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        labels: List[str] = []
+        for inst in self.instances:
+            for label in inst.costs:
+                if label not in labels:
+                    labels.append(label)
+        return labels
+
+    def mean_ratio(self, label: str, baseline: str = "Cilk") -> float:
+        """Geometric-mean cost ratio of ``label`` to ``baseline``."""
+        ratios = [inst.ratio(label, baseline) for inst in self.instances]
+        return geometric_mean(ratios)
+
+    def improvement(self, label: str, baseline: str) -> float:
+        """Cost reduction of ``label`` relative to ``baseline`` (e.g. 0.24 = 24%)."""
+        return 1.0 - self.mean_ratio(label, baseline)
+
+
+def run_instance(
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    *,
+    pipeline_config: Optional[PipelineConfig] = None,
+    include_list_baselines: bool = True,
+    include_trivial: bool = True,
+    multilevel_config: Optional[MultilevelConfig] = None,
+    baselines_only: bool = False,
+) -> InstanceResult:
+    """Run the baselines (and the framework stages) on a single instance."""
+    costs: Dict[str, float] = {}
+    result = InstanceResult(dag_name=dag.name, num_nodes=dag.n, machine=machine, costs=costs)
+
+    costs["Cilk"] = float(CilkScheduler(seed=0).schedule(dag, machine).cost())
+    costs["HDagg"] = float(HDaggScheduler().schedule(dag, machine).cost())
+    if include_list_baselines:
+        costs["BL-EST"] = float(BlEstScheduler().schedule(dag, machine).cost())
+        costs["ETF"] = float(EtfScheduler().schedule(dag, machine).cost())
+    if include_trivial:
+        costs["Trivial"] = float(TrivialScheduler().schedule(dag, machine).cost())
+    if baselines_only:
+        return result
+
+    pipe = run_pipeline(dag, machine, pipeline_config)
+    costs["Init"] = pipe.init_cost
+    costs["HCcs"] = pipe.local_search_cost
+    costs["ILPpart"] = pipe.ilp_assignment_cost
+    costs["ILP"] = pipe.final_cost
+    result.best_initializer = pipe.best_initializer
+    result.initializer_costs = dict(pipe.initializer_costs)
+
+    if multilevel_config is not None:
+        ml_schedule, per_ratio = multilevel_schedule(dag, machine, multilevel_config)
+        costs["ML"] = float(ml_schedule.cost())
+        for ratio, cost in per_ratio.items():
+            costs[f"ML@{ratio:g}"] = float(cost)
+    return result
+
+
+def run_experiment(
+    dags: Sequence[ComputationalDAG],
+    machine: BspMachine,
+    *,
+    pipeline_config: Optional[PipelineConfig] = None,
+    include_list_baselines: bool = True,
+    multilevel_config: Optional[MultilevelConfig] = None,
+    baselines_only: bool = False,
+) -> ExperimentResult:
+    """Run :func:`run_instance` over a dataset and collect the results."""
+    experiment = ExperimentResult(machine_description=machine.describe())
+    for dag in dags:
+        experiment.instances.append(
+            run_instance(
+                dag,
+                machine,
+                pipeline_config=pipeline_config,
+                include_list_baselines=include_list_baselines,
+                multilevel_config=multilevel_config,
+                baselines_only=baselines_only,
+            )
+        )
+    return experiment
+
+
+def stage_ratio_summary(
+    experiment: ExperimentResult, baseline: str = "Cilk", labels: Optional[Iterable[str]] = None
+) -> Dict[str, float]:
+    """Geometric-mean cost ratio (vs ``baseline``) for each requested label.
+
+    This is the data behind the bar charts of Figures 5, 6 and 7: every
+    algorithm's mean cost normalized to the Cilk baseline.
+    """
+    if labels is None:
+        labels = experiment.labels()
+    summary: Dict[str, float] = {}
+    for label in labels:
+        try:
+            summary[label] = experiment.mean_ratio(label, baseline)
+        except KeyError:
+            continue
+    return summary

@@ -1,0 +1,131 @@
+"""Parameter sweeps over machines and datasets, with CSV export.
+
+The paper's evaluation is a grid of (dataset, P, g, l, Delta) combinations;
+this module provides the long-form version of that grid: one record per
+(instance, machine, algorithm) with its cost and its ratio to a chosen
+baseline.  The records can be exported to CSV for external plotting, which
+is how the figures of the paper would typically be drawn.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..pipeline.config import MultilevelConfig, PipelineConfig
+from .runner import InstanceResult, run_instance
+
+__all__ = ["SweepRecord", "MachineSpec", "sweep", "records_to_csv"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine configuration of the sweep grid."""
+
+    P: int
+    g: float = 1.0
+    l: float = 5.0
+    delta: Optional[float] = None
+
+    def build(self) -> BspMachine:
+        if self.delta is not None:
+            return BspMachine.hierarchical(P=self.P, delta=self.delta, g=self.g, l=self.l)
+        return BspMachine(P=self.P, g=self.g, l=self.l)
+
+    def describe(self) -> Dict[str, object]:
+        return {"P": self.P, "g": self.g, "l": self.l, "delta": self.delta if self.delta is not None else 0}
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (instance, machine, algorithm) measurement."""
+
+    dataset: str
+    dag_name: str
+    num_nodes: int
+    P: int
+    g: float
+    l: float
+    delta: float
+    algorithm: str
+    cost: float
+    ratio_to_baseline: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "dag": self.dag_name,
+            "n": self.num_nodes,
+            "P": self.P,
+            "g": self.g,
+            "l": self.l,
+            "delta": self.delta,
+            "algorithm": self.algorithm,
+            "cost": self.cost,
+            "ratio_to_baseline": self.ratio_to_baseline,
+        }
+
+
+def sweep(
+    datasets: Dict[str, Sequence[ComputationalDAG]],
+    machines: Iterable[MachineSpec],
+    *,
+    baseline: str = "Cilk",
+    pipeline_config: Optional[PipelineConfig] = None,
+    multilevel_config: Optional[MultilevelConfig] = None,
+    include_list_baselines: bool = False,
+    baselines_only: bool = False,
+) -> List[SweepRecord]:
+    """Run the full grid and return one record per algorithm measurement."""
+    records: List[SweepRecord] = []
+    for spec in machines:
+        machine = spec.build()
+        meta = spec.describe()
+        for dataset_name, dags in datasets.items():
+            for dag in dags:
+                result: InstanceResult = run_instance(
+                    dag,
+                    machine,
+                    pipeline_config=pipeline_config,
+                    include_list_baselines=include_list_baselines,
+                    multilevel_config=multilevel_config,
+                    baselines_only=baselines_only,
+                )
+                baseline_cost = result.costs.get(baseline)
+                for algorithm, cost in result.costs.items():
+                    ratio = cost / baseline_cost if baseline_cost else float("nan")
+                    records.append(
+                        SweepRecord(
+                            dataset=dataset_name,
+                            dag_name=dag.name,
+                            num_nodes=dag.n,
+                            P=int(meta["P"]),
+                            g=float(meta["g"]),
+                            l=float(meta["l"]),
+                            delta=float(meta["delta"]),
+                            algorithm=algorithm,
+                            cost=float(cost),
+                            ratio_to_baseline=float(ratio),
+                        )
+                    )
+    return records
+
+
+def records_to_csv(records: Sequence[SweepRecord], path: PathLike) -> None:
+    """Write sweep records to a CSV file (one row per record)."""
+    records = list(records)
+    path = Path(path)
+    fieldnames = list(records[0].as_dict().keys()) if records else [
+        "dataset", "dag", "n", "P", "g", "l", "delta", "algorithm", "cost", "ratio_to_baseline"
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.as_dict())

@@ -1,0 +1,104 @@
+"""DAG statistics and workload characterization.
+
+These helpers summarize the structural properties the paper uses to describe
+its datasets ("wider" versus "deeper" DAGs, node/edge counts) and the
+communication-to-computation ratio (CCR) discussed in Appendix A.5 for
+deciding when the multilevel scheduler is expected to help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..model.machine import BspMachine
+from .dag import ComputationalDAG
+
+__all__ = ["DagStatistics", "dag_statistics", "communication_to_computation_ratio"]
+
+
+@dataclass(frozen=True)
+class DagStatistics:
+    """Summary statistics of a computational DAG."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_sources: int
+    num_sinks: int
+    depth: int
+    max_width: int
+    avg_in_degree: float
+    max_in_degree: int
+    total_work: int
+    total_comm: int
+    critical_path_work: int
+    ccr: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (handy for tabular reports)."""
+        return {
+            "name": self.name,
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "sources": self.num_sources,
+            "sinks": self.num_sinks,
+            "depth": self.depth,
+            "max_width": self.max_width,
+            "avg_in_degree": round(self.avg_in_degree, 3),
+            "max_in_degree": self.max_in_degree,
+            "total_work": self.total_work,
+            "total_comm": self.total_comm,
+            "critical_path_work": self.critical_path_work,
+            "ccr": round(self.ccr, 4),
+        }
+
+
+def dag_statistics(dag: ComputationalDAG) -> DagStatistics:
+    """Compute :class:`DagStatistics` for a DAG."""
+    level_sets = dag.level_sets()
+    max_width = max((len(s) for s in level_sets), default=0)
+    in_degrees = [dag.in_degree(v) for v in dag.nodes()]
+    total_work = dag.total_work()
+    total_comm = dag.total_comm()
+    return DagStatistics(
+        name=dag.name,
+        num_nodes=dag.n,
+        num_edges=dag.num_edges,
+        num_sources=len(dag.sources()),
+        num_sinks=len(dag.sinks()),
+        depth=dag.depth(),
+        max_width=max_width,
+        avg_in_degree=float(np.mean(in_degrees)) if in_degrees else 0.0,
+        max_in_degree=max(in_degrees, default=0),
+        total_work=total_work,
+        total_comm=total_comm,
+        critical_path_work=dag.critical_path_work(),
+        ccr=(total_comm / total_work) if total_work > 0 else 0.0,
+    )
+
+
+def communication_to_computation_ratio(
+    dag: ComputationalDAG, machine: Optional[BspMachine] = None
+) -> float:
+    """Communication-to-computation ratio of a scheduling problem.
+
+    Without a machine this is the plain ratio ``sum(c) / sum(w)`` used by
+    Özkaya et al.; with a machine the numerator is additionally multiplied by
+    ``g`` and by the average NUMA coefficient, the natural extension the
+    paper sketches in Appendix A.5.  High values indicate
+    communication-dominated problems where the multilevel scheduler is the
+    better tool.
+    """
+    total_work = dag.total_work()
+    if total_work == 0:
+        return 0.0
+    ratio = dag.total_comm() / total_work
+    if machine is not None:
+        avg_lambda = machine.average_coefficient()
+        if avg_lambda == 0.0:
+            avg_lambda = 1.0
+        ratio *= machine.g * avg_lambda
+    return float(ratio)

@@ -1,0 +1,204 @@
+"""Coarse-grained computational DAG generators.
+
+The paper extracts coarse-grained DAGs from a GraphBLAS run: every matrix or
+vector produced during the computation is a single node, and the operator
+dependencies between them are the edges (paper Section 5 / Appendix B.1).
+GraphBLAS itself is not reproducible offline, so this module generates the
+same operator-level DAGs *directly from the algorithm structure* of the
+iterative methods the paper lists (conjugate gradient, BiCGStab, PageRank,
+label propagation, k-NN / k-hop reachability, k-means).
+
+Weight rules match the paper's extraction: ``w(v) = indegree(v) - 1`` (and 1
+for source nodes), ``c(v) = 1`` for every node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dag import ComputationalDAG
+
+__all__ = [
+    "coarse_conjugate_gradient",
+    "coarse_bicgstab",
+    "coarse_pagerank",
+    "coarse_label_propagation",
+    "coarse_khop",
+    "coarse_kmeans",
+    "COARSE_GRAINED_GENERATORS",
+    "generate_coarse_grained",
+]
+
+
+class _OpDagBuilder:
+    """Operator-level DAG builder with the paper's weight rules."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.edges: List[Tuple[int, int]] = []
+        self.parents: List[List[int]] = []
+        self.labels: List[str] = []
+
+    def op(self, label: str, parents: Sequence[int] = ()) -> int:
+        v = len(self.parents)
+        plist = list(dict.fromkeys(int(p) for p in parents))
+        self.parents.append(plist)
+        self.labels.append(label)
+        for p in plist:
+            self.edges.append((p, v))
+        return v
+
+    def build(self) -> ComputationalDAG:
+        n = len(self.parents)
+        work = np.ones(n, dtype=np.int64)
+        for v, plist in enumerate(self.parents):
+            if plist:
+                work[v] = max(1, len(plist) - 1)
+        comm = np.ones(n, dtype=np.int64)
+        return ComputationalDAG(n, self.edges, work, comm, name=self.name)
+
+
+def coarse_conjugate_gradient(iterations: int = 3, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of ``iterations`` conjugate gradient steps.
+
+    Each iteration contributes the spmv, two dot products, the scalar
+    updates and three axpy operations, exactly the containers a GraphBLAS
+    run materializes.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_cg_it{iterations}")
+    A = b.op("A")
+    x = b.op("x0")
+    bvec = b.op("b")
+    ax = b.op("A@x0", [A, x])
+    r = b.op("r0", [bvec, ax])
+    p = b.op("p0", [r])
+    rr = b.op("dot(r,r)", [r])
+    for t in range(iterations):
+        q = b.op(f"q{t}=A@p", [A, p])
+        pq = b.op(f"dot(p,q){t}", [p, q])
+        alpha = b.op(f"alpha{t}", [rr, pq])
+        x = b.op(f"x{t + 1}", [x, alpha, p])
+        r = b.op(f"r{t + 1}", [r, alpha, q])
+        rr_new = b.op(f"dot(r,r){t + 1}", [r])
+        beta = b.op(f"beta{t}", [rr_new, rr])
+        p = b.op(f"p{t + 1}", [r, beta, p])
+        rr = rr_new
+    return b.build()
+
+
+def coarse_bicgstab(iterations: int = 3, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of the BiCGStab method for general linear systems."""
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_bicgstab_it{iterations}")
+    A = b.op("A")
+    x = b.op("x0")
+    bvec = b.op("b")
+    ax = b.op("A@x0", [A, x])
+    r = b.op("r0", [bvec, ax])
+    rhat = b.op("rhat", [r])
+    rho = b.op("rho0", [rhat, r])
+    p = b.op("p0", [r])
+    for t in range(iterations):
+        v = b.op(f"v{t}=A@p", [A, p])
+        alpha = b.op(f"alpha{t}", [rho, rhat, v])
+        s = b.op(f"s{t}", [r, alpha, v])
+        tvec = b.op(f"t{t}=A@s", [A, s])
+        omega = b.op(f"omega{t}", [tvec, s])
+        x = b.op(f"x{t + 1}", [x, alpha, p, omega, s])
+        r = b.op(f"r{t + 1}", [s, omega, tvec])
+        rho_new = b.op(f"rho{t + 1}", [rhat, r])
+        beta = b.op(f"beta{t}", [rho_new, rho, alpha, omega])
+        p = b.op(f"p{t + 1}", [r, beta, p, omega, v])
+        rho = rho_new
+    return b.build()
+
+
+def coarse_pagerank(iterations: int = 5, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of ``iterations`` PageRank power iterations."""
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_pagerank_it{iterations}")
+    A = b.op("A")
+    d = b.op("outdegree", [A])
+    rank = b.op("rank0")
+    teleport = b.op("teleport")
+    for t in range(iterations):
+        scaled = b.op(f"scaled{t}", [rank, d])
+        spread = b.op(f"A@scaled{t}", [A, scaled])
+        damped = b.op(f"damped{t}", [spread, teleport])
+        norm = b.op(f"norm{t}", [damped])
+        rank = b.op(f"rank{t + 1}", [damped, norm])
+    return b.build()
+
+
+def coarse_label_propagation(iterations: int = 5, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of iterative label propagation on a graph."""
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_labelprop_it{iterations}")
+    A = b.op("A")
+    labels = b.op("labels0")
+    for t in range(iterations):
+        gathered = b.op(f"gather{t}", [A, labels])
+        argmax = b.op(f"argmax{t}", [gathered])
+        changed = b.op(f"changed{t}", [argmax, labels])
+        labels = b.op(f"labels{t + 1}", [argmax, changed])
+    return b.build()
+
+
+def coarse_khop(iterations: int = 4, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of k-hop reachability (GraphBLAS-style kNN)."""
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_khop_it{iterations}")
+    A = b.op("A")
+    frontier = b.op("frontier0")
+    visited = b.op("visited0", [frontier])
+    for t in range(iterations):
+        nxt = b.op(f"A@frontier{t}", [A, frontier])
+        frontier = b.op(f"frontier{t + 1}", [nxt, visited])
+        visited = b.op(f"visited{t + 1}", [visited, frontier])
+    return b.build()
+
+
+def coarse_kmeans(iterations: int = 4, clusters: int = 4, name: Optional[str] = None) -> ComputationalDAG:
+    """Operator DAG of Lloyd's k-means: per iteration an assignment step and
+    one centroid update per cluster."""
+    if iterations < 1 or clusters < 1:
+        raise ValueError("iterations and clusters must be at least 1")
+    b = _OpDagBuilder(name or f"coarse_kmeans_it{iterations}_k{clusters}")
+    data = b.op("data")
+    centroids = [b.op(f"c0_{j}") for j in range(clusters)]
+    for t in range(iterations):
+        dists = [b.op(f"dist{t}_{j}", [data, centroids[j]]) for j in range(clusters)]
+        assign = b.op(f"assign{t}", dists)
+        centroids = [b.op(f"c{t + 1}_{j}", [data, assign]) for j in range(clusters)]
+    return b.build()
+
+
+COARSE_GRAINED_GENERATORS = {
+    "cg": coarse_conjugate_gradient,
+    "bicgstab": coarse_bicgstab,
+    "pagerank": coarse_pagerank,
+    "label_propagation": coarse_label_propagation,
+    "khop": coarse_khop,
+    "kmeans": coarse_kmeans,
+}
+"""Name -> generator mapping for the coarse-grained operator DAGs."""
+
+
+def generate_coarse_grained(kind: str, **kwargs) -> ComputationalDAG:
+    """Dispatch by algorithm name (see :data:`COARSE_GRAINED_GENERATORS`)."""
+    try:
+        gen = COARSE_GRAINED_GENERATORS[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown coarse-grained generator {kind!r}; expected one of "
+            f"{sorted(COARSE_GRAINED_GENERATORS)}"
+        ) from exc
+    return gen(**kwargs)

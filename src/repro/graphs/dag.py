@@ -1,0 +1,456 @@
+"""Computational DAG data structure.
+
+The DAG is the central input object of the scheduling problem (paper Section
+3.1): nodes are operations, directed edges are data dependencies, and every
+node ``v`` carries a *work weight* ``w(v)`` (time to execute ``v``) and a
+*communication weight* ``c(v)`` (cost of sending the output of ``v`` to
+another processor).
+
+The class is intentionally lightweight and index-based: nodes are the
+integers ``0 .. n-1``, adjacency is stored as python lists of ints and the
+weights as numpy integer arrays.  All schedulers in this package operate on
+this representation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["ComputationalDAG", "DagValidationError"]
+
+
+class DagValidationError(ValueError):
+    """Raised when a graph violates the DAG invariants (cycles, bad weights)."""
+
+
+@dataclass
+class ComputationalDAG:
+    """A directed acyclic graph with per-node work and communication weights.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are identified by the integers ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs meaning "``u`` must finish before ``v``
+        starts" (the output of ``u`` is an input of ``v``).
+    work:
+        Work weights ``w(v)``; defaults to 1 for every node.
+    comm:
+        Communication weights ``c(v)``; defaults to 1 for every node.
+    name:
+        Optional human readable name (used in experiment reports).
+    """
+
+    n: int
+    edges: Sequence[Tuple[int, int]] = field(default_factory=list)
+    work: Optional[Sequence[int]] = None
+    comm: Optional[Sequence[int]] = None
+    name: str = "dag"
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise DagValidationError("number of nodes must be non-negative")
+        self._children: List[List[int]] = [[] for _ in range(self.n)]
+        self._parents: List[List[int]] = [[] for _ in range(self.n)]
+        edge_set: Set[Tuple[int, int]] = set()
+        for (u, v) in self.edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise DagValidationError(f"edge ({u}, {v}) out of range for n={self.n}")
+            if u == v:
+                raise DagValidationError(f"self-loop on node {u}")
+            if (u, v) in edge_set:
+                continue
+            edge_set.add((u, v))
+            self._children[u].append(v)
+            self._parents[v].append(u)
+        self.edges = sorted(edge_set)
+
+        if self.work is None:
+            self.work = np.ones(self.n, dtype=np.int64)
+        else:
+            self.work = np.asarray(self.work, dtype=np.int64).copy()
+        if self.comm is None:
+            self.comm = np.ones(self.n, dtype=np.int64)
+        else:
+            self.comm = np.asarray(self.comm, dtype=np.int64).copy()
+        if len(self.work) != self.n or len(self.comm) != self.n:
+            raise DagValidationError("weight arrays must have length n")
+        if np.any(self.work < 0) or np.any(self.comm < 0):
+            raise DagValidationError("node weights must be non-negative")
+
+        self._topo_cache: Optional[List[int]] = None
+        # Validate acyclicity eagerly so downstream code can rely on it.
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (deduplicated) edges."""
+        return len(self.edges)
+
+    def nodes(self) -> range:
+        """Iterate over node identifiers ``0..n-1``."""
+        return range(self.n)
+
+    def children(self, v: int) -> List[int]:
+        """Direct successors of ``v`` (nodes that consume its output)."""
+        return self._children[v]
+
+    def parents(self, v: int) -> List[int]:
+        """Direct predecessors of ``v`` (nodes whose output ``v`` consumes)."""
+        return self._parents[v]
+
+    # `successors`/`predecessors` aliases follow networkx naming.
+    successors = children
+    predecessors = parents
+
+    def out_degree(self, v: int) -> int:
+        return len(self._children[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._parents[v])
+
+    def sources(self) -> List[int]:
+        """Nodes with no predecessors."""
+        return [v for v in range(self.n) if not self._parents[v]]
+
+    def sinks(self) -> List[int]:
+        """Nodes with no successors."""
+        return [v for v in range(self.n) if not self._children[v]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._children[u]
+
+    def total_work(self) -> int:
+        """Sum of all work weights."""
+        return int(np.sum(self.work))
+
+    def total_comm(self) -> int:
+        """Sum of all communication weights."""
+        return int(np.sum(self.comm))
+
+    # ------------------------------------------------------------------
+    # Orderings and structural queries
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[int]:
+        """A topological ordering of the nodes (Kahn's algorithm).
+
+        Raises :class:`DagValidationError` if the graph contains a cycle.
+        The result is cached because the structure is immutable.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg = [len(self._parents[v]) for v in range(self.n)]
+        queue = deque(v for v in range(self.n) if indeg[v] == 0)
+        order: List[int] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self._children[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if len(order) != self.n:
+            raise DagValidationError("graph contains a directed cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def node_levels(self) -> np.ndarray:
+        """Level (longest edge-count distance from any source) for each node."""
+        levels = np.zeros(self.n, dtype=np.int64)
+        for v in self.topological_order():
+            for u in self._parents[v]:
+                if levels[u] + 1 > levels[v]:
+                    levels[v] = levels[u] + 1
+        return levels
+
+    def depth(self) -> int:
+        """Number of levels on the longest path (1 for a single node, 0 if empty)."""
+        if self.n == 0:
+            return 0
+        return int(self.node_levels().max()) + 1
+
+    def level_sets(self) -> List[List[int]]:
+        """Nodes grouped by :meth:`node_levels` (the DAG "wavefronts")."""
+        levels = self.node_levels()
+        if self.n == 0:
+            return []
+        sets: List[List[int]] = [[] for _ in range(int(levels.max()) + 1)]
+        for v in range(self.n):
+            sets[int(levels[v])].append(v)
+        return sets
+
+    def bottom_level(self) -> np.ndarray:
+        """Bottom level of each node: the maximum total work on any path
+        starting at the node (including the node itself).
+
+        This is the classical list-scheduling priority used by BL-EST.
+        """
+        bl = np.array(self.work, dtype=np.int64).copy()
+        for v in reversed(self.topological_order()):
+            if self._children[v]:
+                best = max(bl[w] for w in self._children[v])
+                bl[v] = self.work[v] + best
+        return bl
+
+    def top_level(self) -> np.ndarray:
+        """Top level of each node: maximum total work on any path ending at
+        the node, excluding the node itself."""
+        tl = np.zeros(self.n, dtype=np.int64)
+        for v in self.topological_order():
+            for u in self._parents[v]:
+                cand = tl[u] + self.work[u]
+                if cand > tl[v]:
+                    tl[v] = cand
+        return tl
+
+    def critical_path_work(self) -> int:
+        """Total work along the heaviest directed path."""
+        if self.n == 0:
+            return 0
+        return int(self.bottom_level().max())
+
+    def ancestors(self, v: int) -> Set[int]:
+        """All nodes from which ``v`` is reachable (excluding ``v``)."""
+        seen: Set[int] = set()
+        stack = list(self._parents[v])
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(self._parents[u])
+        return seen
+
+    def descendants(self, v: int) -> Set[int]:
+        """All nodes reachable from ``v`` (excluding ``v``)."""
+        seen: Set[int] = set()
+        stack = list(self._children[v])
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(self._children[u])
+        return seen
+
+    def has_path(self, u: int, v: int, *, skip_direct_edge: bool = False) -> bool:
+        """Return True if there is a directed path from ``u`` to ``v``.
+
+        With ``skip_direct_edge`` the direct edge ``(u, v)`` (if present) is
+        ignored, which is exactly the query needed to decide whether an edge
+        is contractable in the multilevel coarsening phase.
+        """
+        if u == v:
+            return True
+        stack: List[int] = []
+        for w in self._children[u]:
+            if skip_direct_edge and w == v:
+                continue
+            stack.append(w)
+        seen: Set[int] = set()
+        while stack:
+            x = stack.pop()
+            if x == v:
+                return True
+            if x in seen:
+                continue
+            seen.add(x)
+            stack.extend(self._children[x])
+        return False
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int]) -> Tuple["ComputationalDAG", Dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the new DAG and a mapping ``old node id -> new node id``.
+        """
+        keep = sorted(set(int(v) for v in nodes))
+        mapping = {old: new for new, old in enumerate(keep)}
+        edges = [
+            (mapping[u], mapping[v])
+            for (u, v) in self.edges
+            if u in mapping and v in mapping
+        ]
+        work = [int(self.work[v]) for v in keep]
+        comm = [int(self.comm[v]) for v in keep]
+        sub = ComputationalDAG(len(keep), edges, work, comm, name=f"{self.name}-sub")
+        return sub, mapping
+
+    def largest_weakly_connected_component(self) -> Tuple["ComputationalDAG", Dict[int, int]]:
+        """Induced subgraph on the largest weakly connected component.
+
+        The paper keeps only the largest component of DAGs extracted from
+        GraphBLAS runs (Appendix B.1); generators reuse this utility.
+        """
+        if self.n == 0:
+            return self, {}
+        comp = np.full(self.n, -1, dtype=np.int64)
+        current = 0
+        for start in range(self.n):
+            if comp[start] != -1:
+                continue
+            queue = deque([start])
+            comp[start] = current
+            while queue:
+                v = queue.popleft()
+                for w in self._children[v] + self._parents[v]:
+                    if comp[w] == -1:
+                        comp[w] = current
+                        queue.append(w)
+            current += 1
+        sizes = np.bincount(comp, minlength=current)
+        best = int(np.argmax(sizes))
+        return self.subgraph([v for v in range(self.n) if comp[v] == best])
+
+    def weakly_connected_components(self) -> List[List[int]]:
+        """All weakly connected components as lists of node ids."""
+        seen = [False] * self.n
+        comps: List[List[int]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            queue = deque([start])
+            seen[start] = True
+            comp = [start]
+            while queue:
+                v = queue.popleft()
+                for w in self._children[v] + self._parents[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        comp.append(w)
+                        queue.append(w)
+            comps.append(comp)
+        return comps
+
+    def reversed_dag(self) -> "ComputationalDAG":
+        """The DAG with all edges reversed (weights unchanged)."""
+        return ComputationalDAG(
+            self.n,
+            [(v, u) for (u, v) in self.edges],
+            self.work,
+            self.comm,
+            name=f"{self.name}-rev",
+        )
+
+    def relabeled(self, order: Sequence[int]) -> "ComputationalDAG":
+        """Return a copy where node ``order[i]`` becomes node ``i``."""
+        if sorted(order) != list(range(self.n)):
+            raise DagValidationError("relabeling must be a permutation of all nodes")
+        pos = {old: new for new, old in enumerate(order)}
+        edges = [(pos[u], pos[v]) for (u, v) in self.edges]
+        work = [int(self.work[v]) for v in order]
+        comm = [int(self.comm[v]) for v in order]
+        return ComputationalDAG(self.n, edges, work, comm, name=self.name)
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` with ``work``/``comm`` node attrs."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for v in range(self.n):
+            g.add_node(v, work=int(self.work[v]), comm=int(self.comm[v]))
+        g.add_edges_from(self.edges)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, name: str = "dag") -> "ComputationalDAG":
+        """Build from a ``networkx.DiGraph``; nodes must be 0..n-1 or are relabeled."""
+        import networkx as nx
+
+        mapping = {node: i for i, node in enumerate(sorted(g.nodes()))}
+        n = len(mapping)
+        edges = [(mapping[u], mapping[v]) for (u, v) in g.edges()]
+        work = [int(g.nodes[node].get("work", 1)) for node in sorted(g.nodes())]
+        comm = [int(g.nodes[node].get("comm", 1)) for node in sorted(g.nodes())]
+        return cls(n, edges, work, comm, name=name)
+
+    # ------------------------------------------------------------------
+    # Contraction (used by the multilevel coarsening phase)
+    # ------------------------------------------------------------------
+    def contract_edge(self, u: int, v: int) -> Tuple["ComputationalDAG", Dict[int, int]]:
+        """Contract edge ``(u, v)`` into a single node.
+
+        Work and communication weights of ``u`` and ``v`` are summed (paper
+        Appendix A.5).  The caller is responsible for only contracting edges
+        whose contraction preserves acyclicity; the constructor re-checks and
+        raises if a cycle would be created.
+
+        Returns the contracted DAG and a mapping ``old node -> new node``
+        (both ``u`` and ``v`` map to the same new node).
+        """
+        if not self.has_edge(u, v):
+            raise DagValidationError(f"({u}, {v}) is not an edge")
+        mapping: Dict[int, int] = {}
+        new_id = 0
+        for x in range(self.n):
+            if x == v:
+                continue
+            mapping[x] = new_id
+            new_id += 1
+        mapping[v] = mapping[u]
+
+        n_new = self.n - 1
+        edge_set: Set[Tuple[int, int]] = set()
+        for (a, b) in self.edges:
+            na, nb = mapping[a], mapping[b]
+            if na != nb:
+                edge_set.add((na, nb))
+        work = np.zeros(n_new, dtype=np.int64)
+        comm = np.zeros(n_new, dtype=np.int64)
+        for x in range(self.n):
+            work[mapping[x]] += self.work[x]
+            comm[mapping[x]] += self.comm[x]
+        dag = ComputationalDAG(n_new, sorted(edge_set), work, comm, name=self.name)
+        return dag, mapping
+
+    def is_edge_contractable(self, u: int, v: int) -> bool:
+        """True if contracting ``(u, v)`` keeps the graph acyclic.
+
+        An edge is contractable iff there is no *other* directed path from
+        ``u`` to ``v`` besides the edge itself (paper Appendix A.5).
+        """
+        if not self.has_edge(u, v):
+            return False
+        return not self.has_path(u, v, skip_direct_edge=True)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ComputationalDAG(name={self.name!r}, n={self.n}, m={self.num_edges}, "
+            f"total_work={self.total_work()}, total_comm={self.total_comm()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComputationalDAG):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and list(self.edges) == list(other.edges)
+            and np.array_equal(self.work, other.work)
+            and np.array_equal(self.comm, other.comm)
+        )
+
+    def __hash__(self) -> int:  # dataclass with eq needs explicit hash opt-out
+        return id(self)

@@ -1,0 +1,147 @@
+"""HyperDAG file format: serialization of computational DAGs.
+
+The paper's DAG database stores computational DAGs in a hypergraph format:
+for every node ``v`` with at least one successor there is a hyperedge
+containing ``v`` and all of its direct successors (paper Section 5 /
+Appendix B).  This emphasizes that the output of ``v`` only needs to be sent
+once to each processor, however many successors live there; for scheduling
+purposes the representation is equivalent to the DAG and is converted back
+on load.
+
+File format (plain text)::
+
+    %% arbitrary comment lines start with '%'
+    <num_hyperedges> <num_nodes> <num_pins>
+    <hyperedge_id> <node_id>          # one line per pin; the first pin of
+    ...                               # each hyperedge is its source node
+    <node_id> <work_weight> <comm_weight>   # one line per node
+    ...
+
+This mirrors the structure of the files in the paper's HyperDAG_DB
+repository closely enough that conversion scripts are one-liners, while
+remaining fully self-describing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .dag import ComputationalDAG, DagValidationError
+
+__all__ = [
+    "dag_to_hyperdag",
+    "hyperdag_to_dag",
+    "write_hyperdag",
+    "read_hyperdag",
+    "dumps_hyperdag",
+    "loads_hyperdag",
+]
+
+PathLike = Union[str, Path]
+
+
+def dag_to_hyperdag(dag: ComputationalDAG) -> List[List[int]]:
+    """Hyperedges of a DAG: ``[v, successors(v)...]`` for each non-sink ``v``."""
+    hyperedges: List[List[int]] = []
+    for v in dag.nodes():
+        children = dag.children(v)
+        if children:
+            hyperedges.append([v] + sorted(children))
+    return hyperedges
+
+
+def hyperdag_to_dag(
+    num_nodes: int,
+    hyperedges: List[List[int]],
+    work=None,
+    comm=None,
+    name: str = "hyperdag",
+) -> ComputationalDAG:
+    """Rebuild a DAG from hyperedges (first pin of each hyperedge = source)."""
+    edges: List[Tuple[int, int]] = []
+    for he in hyperedges:
+        if not he:
+            continue
+        src = he[0]
+        for v in he[1:]:
+            edges.append((src, v))
+    return ComputationalDAG(num_nodes, edges, work, comm, name=name)
+
+
+def dumps_hyperdag(dag: ComputationalDAG, comment: str = "") -> str:
+    """Serialize a DAG to the hyperDAG text format."""
+    hyperedges = dag_to_hyperdag(dag)
+    num_pins = sum(len(he) for he in hyperedges)
+    lines: List[str] = []
+    lines.append(f"% hyperDAG representation of {dag.name}")
+    if comment:
+        for c in comment.splitlines():
+            lines.append(f"% {c}")
+    lines.append(f"% format: <hyperedges> <nodes> <pins>; pin lines; node weight lines")
+    lines.append(f"{len(hyperedges)} {dag.n} {num_pins}")
+    for he_id, he in enumerate(hyperedges):
+        for v in he:
+            lines.append(f"{he_id} {v}")
+    for v in dag.nodes():
+        lines.append(f"{v} {int(dag.work[v])} {int(dag.comm[v])}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_hyperdag(text: str, name: str = "hyperdag") -> ComputationalDAG:
+    """Parse the hyperDAG text format back into a :class:`ComputationalDAG`."""
+    tokens: List[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        tokens.append(line)
+    if not tokens:
+        raise DagValidationError("empty hyperDAG file")
+    header = tokens[0].split()
+    if len(header) != 3:
+        raise DagValidationError(f"malformed hyperDAG header: {tokens[0]!r}")
+    num_hyperedges, num_nodes, num_pins = (int(x) for x in header)
+    expected = 1 + num_pins + num_nodes
+    if len(tokens) < expected:
+        raise DagValidationError(
+            f"hyperDAG file truncated: expected {expected} data lines, got {len(tokens)}"
+        )
+    pin_lines = tokens[1 : 1 + num_pins]
+    weight_lines = tokens[1 + num_pins : 1 + num_pins + num_nodes]
+
+    hyperedges: Dict[int, List[int]] = {}
+    for line in pin_lines:
+        parts = line.split()
+        if len(parts) != 2:
+            raise DagValidationError(f"malformed pin line: {line!r}")
+        he_id, node = int(parts[0]), int(parts[1])
+        if not (0 <= he_id < num_hyperedges):
+            raise DagValidationError(f"hyperedge id {he_id} out of range")
+        hyperedges.setdefault(he_id, []).append(node)
+
+    work = [1] * num_nodes
+    comm = [1] * num_nodes
+    for line in weight_lines:
+        parts = line.split()
+        if len(parts) != 3:
+            raise DagValidationError(f"malformed node weight line: {line!r}")
+        v, w, c = int(parts[0]), int(parts[1]), int(parts[2])
+        if not (0 <= v < num_nodes):
+            raise DagValidationError(f"node id {v} out of range")
+        work[v] = w
+        comm[v] = c
+
+    ordered = [hyperedges[i] for i in sorted(hyperedges)]
+    return hyperdag_to_dag(num_nodes, ordered, work, comm, name=name)
+
+
+def write_hyperdag(dag: ComputationalDAG, path: PathLike, comment: str = "") -> None:
+    """Write a DAG to ``path`` in the hyperDAG text format."""
+    Path(path).write_text(dumps_hyperdag(dag, comment=comment))
+
+
+def read_hyperdag(path: PathLike, name: str = "") -> ComputationalDAG:
+    """Read a DAG from a hyperDAG text file."""
+    p = Path(path)
+    return loads_hyperdag(p.read_text(), name=name or p.stem)

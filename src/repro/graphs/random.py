@@ -1,0 +1,118 @@
+"""Random structure generators: sparse matrix patterns and random DAGs.
+
+The fine-grained DAG generators of the paper (Appendix B.2) construct the
+computational DAG of an algebraic kernel from the *nonzero pattern* of a
+random square matrix: each entry is nonzero independently with probability
+``q``.  This module provides that pattern generator plus a couple of generic
+random-DAG generators used for testing and for additional benchmark
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dag import ComputationalDAG
+
+__all__ = [
+    "random_sparse_pattern",
+    "banded_pattern",
+    "random_layered_dag",
+    "erdos_renyi_dag",
+]
+
+
+def random_sparse_pattern(
+    n: int, q: float, seed: Optional[int] = None, ensure_nonempty_rows: bool = True
+) -> List[List[int]]:
+    """Random ``n x n`` sparsity pattern: entry ``(i, j)`` present w.p. ``q``.
+
+    Returns a list of rows, each row the sorted list of nonzero column
+    indices.  With ``ensure_nonempty_rows`` every row is guaranteed at least
+    one nonzero (the diagonal entry), which keeps the derived computational
+    DAGs connected in the way the paper's generator does.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("q must be a probability")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < q
+    if ensure_nonempty_rows:
+        np.fill_diagonal(mask, True)
+    return [sorted(np.flatnonzero(mask[i]).tolist()) for i in range(n)]
+
+
+def banded_pattern(n: int, bandwidth: int = 1) -> List[List[int]]:
+    """Deterministic banded sparsity pattern (diagonal plus ``bandwidth``
+    off-diagonals on each side).  Useful for reproducible small examples."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be non-negative")
+    rows: List[List[int]] = []
+    for i in range(n):
+        lo = max(0, i - bandwidth)
+        hi = min(n, i + bandwidth + 1)
+        rows.append(list(range(lo, hi)))
+    return rows
+
+
+def random_layered_dag(
+    num_layers: int,
+    layer_width: int,
+    edge_prob: float = 0.3,
+    *,
+    work_range: Tuple[int, int] = (1, 4),
+    comm_range: Tuple[int, int] = (1, 3),
+    seed: Optional[int] = None,
+    name: str = "layered",
+) -> ComputationalDAG:
+    """Random layered DAG: nodes arranged in layers, edges only between
+    consecutive layers (each pair present with probability ``edge_prob``).
+
+    Every non-first-layer node receives at least one incoming edge so that
+    the layer structure equals the level structure.
+    """
+    if num_layers <= 0 or layer_width <= 0:
+        raise ValueError("num_layers and layer_width must be positive")
+    rng = np.random.default_rng(seed)
+    n = num_layers * layer_width
+    edges: List[Tuple[int, int]] = []
+    for layer in range(1, num_layers):
+        prev = range((layer - 1) * layer_width, layer * layer_width)
+        cur = range(layer * layer_width, (layer + 1) * layer_width)
+        for v in cur:
+            parents = [u for u in prev if rng.random() < edge_prob]
+            if not parents:
+                parents = [int(rng.choice(list(prev)))]
+            for u in parents:
+                edges.append((u, v))
+    work = rng.integers(work_range[0], work_range[1] + 1, size=n)
+    comm = rng.integers(comm_range[0], comm_range[1] + 1, size=n)
+    return ComputationalDAG(n, edges, work, comm, name=name)
+
+
+def erdos_renyi_dag(
+    n: int,
+    edge_prob: float = 0.1,
+    *,
+    work_range: Tuple[int, int] = (1, 4),
+    comm_range: Tuple[int, int] = (1, 3),
+    seed: Optional[int] = None,
+    name: str = "gnp",
+) -> ComputationalDAG:
+    """Random DAG: orient a G(n, p) graph along a fixed node ordering."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_prob:
+                edges.append((u, v))
+    work = rng.integers(work_range[0], work_range[1] + 1, size=n) if n else []
+    comm = rng.integers(comm_range[0], comm_range[1] + 1, size=n) if n else []
+    return ComputationalDAG(n, edges, work, comm, name=name)

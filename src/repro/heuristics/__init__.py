@@ -1,0 +1,6 @@
+"""Initialization heuristics for the scheduling framework (paper Section 4.2)."""
+
+from .bspg import BspGreedyScheduler
+from .source import SourceScheduler
+
+__all__ = ["BspGreedyScheduler", "SourceScheduler"]

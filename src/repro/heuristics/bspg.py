@@ -1,0 +1,197 @@
+"""BSPg: the BSP-tailored greedy initialization heuristic (paper Alg. 1).
+
+BSPg simulates concrete start/finish times inside each superstep (like a
+classical greedy scheduler) but only ever assigns a node to a processor when
+this is possible *without closing the current computation phase*: all of the
+node's predecessors must already be available on that processor, i.e. they
+were computed on the same processor or in an earlier superstep.  When at
+least half of the processors become idle (no such node exists for them), the
+superstep is closed and the nodes that were blocked on cross-processor data
+become available to everyone in the next superstep.
+
+Tie-breaking between candidate nodes uses the paper's score
+``sum over predecessors u of c(u) / outdeg(u)`` restricted to predecessors
+that (or whose successors) are already on the candidate processor — an
+estimate of the communication that can be avoided in the future by keeping
+the node local.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from ..scheduler import Scheduler
+
+__all__ = ["BspGreedyScheduler"]
+
+
+class BspGreedyScheduler(Scheduler):
+    """Greedy BSP scheduler (the ``BSPg`` initializer of the paper)."""
+
+    name = "BSPg"
+
+    def __init__(self, idle_fraction: float = 0.5) -> None:
+        """``idle_fraction``: close the superstep once this fraction of the
+        processors can no longer be assigned work without communication."""
+        if not (0.0 < idle_fraction <= 1.0):
+            raise ValueError("idle_fraction must be in (0, 1]")
+        self.idle_fraction = idle_fraction
+
+    # ------------------------------------------------------------------
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        n = dag.n
+        P = machine.P
+        proc = np.full(n, -1, dtype=np.int64)
+        step = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return BspSchedule(dag, machine, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+
+        remaining_parents = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
+        finished = np.zeros(n, dtype=bool)
+
+        # Ready bookkeeping (see module docstring / paper Algorithm 1):
+        #   ready      — all nodes whose predecessors have finished;
+        #   ready_p[p] — ready nodes executable on p in the current superstep;
+        #   ready_all  — ready nodes executable on any processor this superstep.
+        ready: Set[int] = set()
+        ready_p: List[Set[int]] = [set() for _ in range(P)]
+        ready_all: Set[int] = set()
+
+        for v in range(n):
+            if remaining_parents[v] == 0:
+                ready.add(v)
+        ready_all = set(ready)
+
+        superstep = 0
+        end_step = False
+        free = [True] * P
+        # Min-heap of (finish_time, node, processor) of currently running nodes.
+        running: List[Tuple[float, int, int]] = []
+        assigned_count = 0
+        now = 0.0
+
+        def choose_node(p: int) -> Optional[int]:
+            """Pick the next node for processor ``p`` (paper's ChooseNode)."""
+            pool = ready_p[p] if ready_p[p] else ready_all
+            if not pool:
+                return None
+            best_v = None
+            best_score = -1.0
+            for v in pool:
+                score = 0.0
+                for u in dag.parents(v):
+                    on_p = proc[u] == p
+                    if not on_p:
+                        on_p = any(proc[w] == p for w in dag.children(u))
+                    if on_p:
+                        outdeg = dag.out_degree(u)
+                        score += float(dag.comm[u]) / max(outdeg, 1)
+                if score > best_score or (score == best_score and (best_v is None or v < best_v)):
+                    best_score = score
+                    best_v = v
+            return best_v
+
+        def assign(v: int, p: int, time: float) -> None:
+            nonlocal assigned_count
+            ready.discard(v)
+            ready_all.discard(v)
+            for q in range(P):
+                ready_p[q].discard(v)
+            proc[v] = p
+            step[v] = superstep
+            free[p] = False
+            heapq.heappush(running, (time + float(dag.work[v]), v, p))
+            assigned_count += 1
+
+        def assignment_round(time: float) -> int:
+            """Give work to free processors; return number of assignments."""
+            made = 0
+            progress = True
+            while progress:
+                progress = False
+                for p in range(P):
+                    if not free[p]:
+                        continue
+                    v = choose_node(p)
+                    if v is not None:
+                        assign(v, p, time)
+                        made += 1
+                        progress = True
+            return made
+
+        def idle_processors() -> int:
+            return sum(
+                1 for p in range(P) if free[p] and not ready_p[p] and not ready_all
+            )
+
+        def start_new_superstep() -> None:
+            nonlocal superstep, end_step
+            superstep += 1
+            end_step = False
+            for p in range(P):
+                ready_p[p].clear()
+            ready_all.clear()
+            ready_all.update(ready)
+
+        # Initial assignment at time 0.
+        assignment_round(now)
+        if not ready_all and idle_processors() >= self.idle_fraction * P:
+            end_step = True
+
+        while assigned_count < n or running:
+            if not running:
+                # Nothing is executing: either the superstep ended naturally
+                # or nothing could be assigned; start the next superstep.
+                if assigned_count >= n:
+                    break
+                start_new_superstep()
+                made = assignment_round(now)
+                if made == 0 and not running:
+                    # Safety net: with the ready bookkeeping above this cannot
+                    # happen for a DAG, but fail loudly rather than spin.
+                    raise RuntimeError("BSPg made no progress")
+                if not ready_all and idle_processors() >= self.idle_fraction * P:
+                    end_step = True
+                continue
+
+            finish_time, v, p = heapq.heappop(running)
+            now = finish_time
+            finished[v] = True
+            free[p] = True
+            # Collect every node finishing at exactly this time before
+            # assigning new work, mirroring the pseudocode's batch handling.
+            batch = [(v, p)]
+            while running and running[0][0] == finish_time:
+                _, v2, p2 = heapq.heappop(running)
+                finished[v2] = True
+                free[p2] = True
+                batch.append((v2, p2))
+
+            for (node, node_proc) in batch:
+                for child in dag.children(node):
+                    remaining_parents[child] -= 1
+                    if remaining_parents[child] == 0:
+                        ready.add(child)
+                        # The child may join the current superstep on the
+                        # processor that owns all of its current-superstep
+                        # predecessors.
+                        ok = True
+                        for u in dag.parents(child):
+                            if step[u] == superstep and proc[u] != node_proc:
+                                ok = False
+                                break
+                        if ok:
+                            ready_p[node_proc].add(child)
+
+            if not end_step:
+                assignment_round(now)
+                if not ready_all and idle_processors() >= self.idle_fraction * P:
+                    end_step = True
+
+        return BspSchedule(dag, machine, proc, step)

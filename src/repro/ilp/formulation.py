@@ -1,0 +1,382 @@
+"""Shared ILP formulation of (windows of) the BSP scheduling problem.
+
+This module contains the variable/constraint generator shared by the three
+ILP-based methods of the paper:
+
+* ``ILPfull``  — the whole problem as one ILP (every node free, every
+  superstep in the window),
+* ``ILPpart``  — re-optimization of the nodes currently assigned to a
+  contiguous superstep interval, with the rest of the schedule fixed,
+* ``ILPinit``  — batch-by-batch construction, where each batch is optimized
+  inside a small window of fresh supersteps.
+
+Variables (following the FS formulation of Papp et al. [28] with the
+simplifications described in the paper's Appendix A.4):
+
+* ``comp[v, p, s]``  — node ``v`` is computed on processor ``p`` in
+  superstep ``s`` (binary), for every *free* node,
+* ``pres[v, p, s]``  — the value of free node ``v`` is present on ``p`` at
+  the end of superstep ``s`` (binary),
+* ``comm[v, p1, p2, s]`` — the value of free node ``v`` is sent from ``p1``
+  to ``p2`` in the communication phase of ``s`` (binary),
+* ``bcomm[u, p, s]`` — the value of *boundary* node ``u`` (a predecessor of
+  a free node computed before the window) is sent from its fixed processor
+  to ``p`` in phase ``s`` (binary),
+* ``W[s]`` / ``H[s]`` — continuous upper bounds on the work and h-relation
+  cost of superstep ``s``,
+* ``used[s]`` — superstep ``s`` carries computation (binary, latency term).
+
+The extracted result is a (pi, tau) assignment for the free nodes; the
+final schedule is rebuilt with the *lazy* communication schedule and its
+exact cost is evaluated by the caller, so an approximate objective inside
+the ILP can never produce an invalid or mis-costed schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from .model import INF, IlpModel
+from .solver import SolverResult
+
+__all__ = ["BspIlpFormulation", "build_bsp_ilp", "estimate_variable_count"]
+
+
+def estimate_variable_count(num_free_nodes: int, num_supersteps: int, P: int) -> int:
+    """The paper's rule-of-thumb estimate ``|V0| * |S0| * P^2`` of the ILP size."""
+    return num_free_nodes * num_supersteps * P * P
+
+
+@dataclass
+class BspIlpFormulation:
+    """A built ILP plus the index maps needed to extract a schedule."""
+
+    model: IlpModel
+    dag: ComputationalDAG
+    machine: BspMachine
+    free_nodes: List[int]
+    s_first: int
+    s_last: int
+    comp: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    pres: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    comm: Dict[Tuple[int, int, int, int], int] = field(default_factory=dict)
+    bcomm: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    base_proc: Optional[np.ndarray] = None
+    base_step: Optional[np.ndarray] = None
+
+    @property
+    def supersteps(self) -> range:
+        return range(self.s_first, self.s_last + 1)
+
+    # ------------------------------------------------------------------
+    def extract_assignment(self, result: SolverResult) -> Tuple[np.ndarray, np.ndarray]:
+        """Read the (proc, step) arrays out of a solver result.
+
+        Nodes outside ``free_nodes`` keep their base assignment.  Raises
+        ``ValueError`` if the solution does not assign every free node
+        exactly once (which the constraints rule out for feasible results).
+        """
+        if not result.has_solution:
+            raise ValueError("solver result carries no solution")
+        n = self.dag.n
+        if self.base_proc is not None:
+            proc = self.base_proc.copy()
+            step = self.base_step.copy()
+        else:
+            proc = np.zeros(n, dtype=np.int64)
+            step = np.zeros(n, dtype=np.int64)
+        assigned: Set[int] = set()
+        for (v, p, s), idx in self.comp.items():
+            if result.binary_value(idx):
+                if v in assigned:
+                    raise ValueError(f"node {v} assigned more than once in ILP solution")
+                assigned.add(v)
+                proc[v] = p
+                step[v] = s
+        missing = set(self.free_nodes) - assigned
+        if missing:
+            raise ValueError(f"ILP solution left nodes unassigned: {sorted(missing)[:5]}")
+        return proc, step
+
+    def extract_schedule(self, result: SolverResult) -> BspSchedule:
+        """Full BSP schedule (with lazy communication) from a solver result."""
+        proc, step = self.extract_assignment(result)
+        return BspSchedule(self.dag, self.machine, proc, step)
+
+
+def build_bsp_ilp(
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    *,
+    free_nodes: Optional[Iterable[int]] = None,
+    s_first: int = 0,
+    s_last: Optional[int] = None,
+    base_proc: Optional[np.ndarray] = None,
+    base_step: Optional[np.ndarray] = None,
+    include_latency: bool = True,
+    background_consumers: bool = True,
+    name: str = "bsp-ilp",
+) -> BspIlpFormulation:
+    """Build the (window) ILP formulation of the BSP scheduling problem.
+
+    Parameters
+    ----------
+    free_nodes:
+        Nodes to (re)assign.  Defaults to all nodes (the ``ILPfull`` case).
+    s_first, s_last:
+        Superstep window the free nodes may be assigned to.  ``s_last``
+        defaults to a safe bound (one superstep per DAG level).
+    base_proc, base_step:
+        Fixed assignment of the non-free nodes (required whenever
+        ``free_nodes`` is not the full node set).
+    include_latency:
+        Whether to add the per-superstep latency term to the objective.
+    background_consumers:
+        Whether to add the fixed communication load caused by transfers
+        between non-free nodes whose (lazy) phase falls into the window.
+    """
+    P = machine.P
+    g = float(machine.g)
+    latency = float(machine.l)
+    numa = machine.numa
+    n = dag.n
+
+    if free_nodes is None:
+        free = list(range(n))
+    else:
+        free = sorted(set(int(v) for v in free_nodes))
+    free_set = set(free)
+    if len(free_set) != n and (base_proc is None or base_step is None):
+        raise ValueError("a base assignment is required when only a subset of nodes is free")
+    if s_last is None:
+        s_last = s_first + max(dag.depth(), 1) - 1
+    if s_last < s_first:
+        raise ValueError("empty superstep window")
+
+    model = IlpModel(name=name)
+    form = BspIlpFormulation(
+        model=model,
+        dag=dag,
+        machine=machine,
+        free_nodes=free,
+        s_first=s_first,
+        s_last=s_last,
+        base_proc=None if base_proc is None else np.asarray(base_proc, dtype=np.int64).copy(),
+        base_step=None if base_step is None else np.asarray(base_step, dtype=np.int64).copy(),
+    )
+    steps = list(range(s_first, s_last + 1))
+    # Communication phases available to the window: the phase right before
+    # the window (if any) plus every phase inside the window.
+    comm_phases = list(range(max(s_first - 1, 0), s_last + 1))
+
+    # ------------------------------------------------------------------
+    # Boundary predecessors: non-free predecessors of free nodes.
+    # ------------------------------------------------------------------
+    boundary: List[int] = []
+    avail0: Dict[int, Set[int]] = {}
+    if len(free_set) != n:
+        assert form.base_proc is not None and form.base_step is not None
+        for v in free:
+            for u in dag.parents(v):
+                if u not in free_set and u not in avail0:
+                    boundary.append(u)
+                    procs = {int(form.base_proc[u])}
+                    # Processors that already received u's value before the
+                    # window (via the lazy schedule of the base assignment).
+                    for w in dag.children(u):
+                        if w in free_set:
+                            continue
+                        if int(form.base_step[w]) < s_first and int(form.base_proc[w]) != int(
+                            form.base_proc[u]
+                        ):
+                            procs.add(int(form.base_proc[w]))
+                    avail0[u] = procs
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    for v in free:
+        for p in range(P):
+            for s in steps:
+                form.comp[(v, p, s)] = model.add_binary(f"comp[{v},{p},{s}]")
+                form.pres[(v, p, s)] = model.add_binary(f"pres[{v},{p},{s}]")
+            for p2 in range(P):
+                if p2 == p:
+                    continue
+                for s in steps:
+                    form.comm[(v, p, p2, s)] = model.add_binary(f"comm[{v},{p},{p2},{s}]")
+    for u in boundary:
+        src = int(form.base_proc[u])
+        for p in range(P):
+            if p == src:
+                continue
+            for s in comm_phases:
+                form.bcomm[(u, p, s)] = model.add_binary(f"bcomm[{u},{p},{s}]")
+
+    work_var = {s: model.add_continuous(f"W[{s}]") for s in steps}
+    h_var = {s: model.add_continuous(f"H[{s}]") for s in comm_phases}
+    used_var = {}
+    if include_latency and latency > 0:
+        for s in steps:
+            used_var[s] = model.add_binary(f"used[{s}]")
+
+    # ------------------------------------------------------------------
+    # Background communication load from fixed-to-fixed transfers whose lazy
+    # phase falls inside the window (treated as constants, like the paper).
+    # ------------------------------------------------------------------
+    bg_send = {(s, p): 0.0 for s in comm_phases for p in range(P)}
+    bg_recv = {(s, p): 0.0 for s in comm_phases for p in range(P)}
+    if background_consumers and len(free_set) != n:
+        needed: Dict[Tuple[int, int], int] = {}
+        for (u, w) in dag.edges:
+            if u in free_set or w in free_set:
+                continue
+            pu, pw = int(form.base_proc[u]), int(form.base_proc[w])
+            if pu == pw:
+                continue
+            key = (u, pw)
+            sw = int(form.base_step[w])
+            if key not in needed or sw < needed[key]:
+                needed[key] = sw
+        for (u, p_target), first_need in needed.items():
+            phase = first_need - 1
+            if phase in h_var:
+                pu = int(form.base_proc[u])
+                volume = float(dag.comm[u]) * float(numa[pu, p_target])
+                bg_send[(phase, pu)] += volume
+                bg_recv[(phase, p_target)] += volume
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    # (1) every free node computed exactly once
+    for v in free:
+        model.add_eq(
+            {form.comp[(v, p, s)]: 1.0 for p in range(P) for s in steps},
+            1.0,
+            name=f"assign[{v}]",
+        )
+
+    # (2) precedence constraints
+    for v in free:
+        for u in dag.parents(v):
+            if u in free_set:
+                for p in range(P):
+                    for s in steps:
+                        coeffs = {form.comp[(v, p, s)]: 1.0}
+                        for s2 in steps:
+                            if s2 <= s:
+                                coeffs[form.comp[(u, p, s2)]] = coeffs.get(form.comp[(u, p, s2)], 0.0) - 1.0
+                        if s - 1 >= s_first:
+                            coeffs[form.pres[(u, p, s - 1)]] = -1.0
+                        model.add_le(coeffs, 0.0, name=f"prec[{u}->{v},{p},{s}]")
+            else:
+                src = int(form.base_proc[u])
+                for p in range(P):
+                    if p in avail0[u]:
+                        continue  # value already available on p: no constraint
+                    for s in steps:
+                        coeffs = {form.comp[(v, p, s)]: 1.0}
+                        for s2 in comm_phases:
+                            if s2 <= s - 1:
+                                idx = form.bcomm.get((u, p, s2))
+                                if idx is not None:
+                                    coeffs[idx] = coeffs.get(idx, 0.0) - 1.0
+                        model.add_le(coeffs, 0.0, name=f"bprec[{u}->{v},{p},{s}]")
+
+    # (3) presence of free values
+    for v in free:
+        for p in range(P):
+            for s in steps:
+                coeffs = {form.pres[(v, p, s)]: 1.0}
+                for s2 in steps:
+                    if s2 <= s:
+                        coeffs[form.comp[(v, p, s2)]] = coeffs.get(form.comp[(v, p, s2)], 0.0) - 1.0
+                if s - 1 >= s_first:
+                    coeffs[form.pres[(v, p, s - 1)]] = -1.0
+                for p1 in range(P):
+                    if p1 == p:
+                        continue
+                    coeffs[form.comm[(v, p1, p, s)]] = -1.0
+                model.add_le(coeffs, 0.0, name=f"pres[{v},{p},{s}]")
+
+    # (4) a free value can only be sent from a processor that has it
+    for v in free:
+        for p1 in range(P):
+            for p2 in range(P):
+                if p1 == p2:
+                    continue
+                for s in steps:
+                    coeffs = {form.comm[(v, p1, p2, s)]: 1.0}
+                    for s2 in steps:
+                        if s2 <= s:
+                            coeffs[form.comp[(v, p1, s2)]] = coeffs.get(form.comp[(v, p1, s2)], 0.0) - 1.0
+                    if s - 1 >= s_first:
+                        coeffs[form.pres[(v, p1, s - 1)]] = -1.0
+                    model.add_le(coeffs, 0.0, name=f"commsrc[{v},{p1},{p2},{s}]")
+
+    # (5) work cost bounds
+    for s in steps:
+        for p in range(P):
+            coeffs = {form.comp[(v, p, s)]: float(dag.work[v]) for v in free}
+            coeffs[work_var[s]] = -1.0
+            model.add_le(coeffs, 0.0, name=f"work[{s},{p}]")
+
+    # (6) h-relation bounds (send and receive, NUMA-weighted)
+    for s in comm_phases:
+        for p in range(P):
+            send_coeffs: Dict[int, float] = {}
+            recv_coeffs: Dict[int, float] = {}
+            for v in free:
+                if s in steps:
+                    for p2 in range(P):
+                        if p2 == p:
+                            continue
+                        send_coeffs[form.comm[(v, p, p2, s)]] = float(dag.comm[v]) * float(numa[p, p2])
+                        recv_coeffs[form.comm[(v, p2, p, s)]] = float(dag.comm[v]) * float(numa[p2, p])
+            for u in boundary:
+                src = int(form.base_proc[u])
+                for p2 in range(P):
+                    if p2 == src:
+                        continue
+                    idx = form.bcomm.get((u, p2, s))
+                    if idx is None:
+                        continue
+                    vol = float(dag.comm[u]) * float(numa[src, p2])
+                    if p == src:
+                        send_coeffs[idx] = send_coeffs.get(idx, 0.0) + vol
+                    if p == p2:
+                        recv_coeffs[idx] = recv_coeffs.get(idx, 0.0) + vol
+            send_coeffs[h_var[s]] = -1.0
+            recv_coeffs[h_var[s]] = -1.0
+            model.add_le(send_coeffs, -bg_send[(s, p)], name=f"send[{s},{p}]")
+            model.add_le(recv_coeffs, -bg_recv[(s, p)], name=f"recv[{s},{p}]")
+
+    # (7) latency / superstep usage
+    if used_var:
+        for s in steps:
+            coeffs = {form.comp[(v, p, s)]: 1.0 for v in free for p in range(P)}
+            coeffs[used_var[s]] = -float(len(free))
+            model.add_le(coeffs, 0.0, name=f"used[{s}]")
+        # Push used supersteps to the front of the window (symmetry breaking).
+        ordered = sorted(used_var)
+        for a, b in zip(ordered, ordered[1:]):
+            model.add_le({used_var[b]: 1.0, used_var[a]: -1.0}, 0.0, name=f"usedorder[{a},{b}]")
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    for s in steps:
+        model.add_objective_term(work_var[s], 1.0)
+    for s in comm_phases:
+        model.add_objective_term(h_var[s], g)
+    for s, idx in used_var.items():
+        model.add_objective_term(idx, latency)
+
+    return form

@@ -1,0 +1,30 @@
+"""Local search methods: hill climbing (paper Section 4.3) and simulated annealing."""
+
+from .annealing import (
+    SimulatedAnnealingImprover,
+    SimulatedAnnealingResult,
+    simulated_annealing,
+)
+from .comm_hill_climbing import (
+    CommHillClimbingResult,
+    CommScheduleImprover,
+    CommScheduleState,
+    comm_hill_climb,
+)
+from .hill_climbing import HillClimbingImprover, HillClimbingResult, hill_climb
+from .state import LocalSearchState, Move
+
+__all__ = [
+    "simulated_annealing",
+    "SimulatedAnnealingResult",
+    "SimulatedAnnealingImprover",
+    "LocalSearchState",
+    "Move",
+    "hill_climb",
+    "HillClimbingResult",
+    "HillClimbingImprover",
+    "comm_hill_climb",
+    "CommHillClimbingResult",
+    "CommScheduleImprover",
+    "CommScheduleState",
+]

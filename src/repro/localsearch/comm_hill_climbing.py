@@ -1,0 +1,192 @@
+"""HCcs: hill climbing on the communication schedule (paper Section 4.3).
+
+With the node assignment (pi, tau) fixed, the only remaining freedom is
+*when* each required cross-processor value transfer happens.  Every required
+transfer of a value ``u`` to a processor ``q`` may be scheduled in any
+communication phase between ``tau(u)`` (the superstep in which the value is
+produced) and ``first_need - 1`` (the last phase before the first consumer
+on ``q`` runs); HCcs moves one transfer at a time to a different phase in
+that window whenever this lowers the total h-relation cost.
+
+Like the paper's implementation, transfers are always sent directly from the
+producing processor (no relaying through third processors).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.comm import CommSchedule
+from ..model.schedule import BspSchedule
+
+__all__ = ["CommScheduleState", "CommHillClimbingResult", "comm_hill_climb", "CommScheduleImprover"]
+
+_EPS = 1e-9
+
+
+class CommScheduleState:
+    """Incremental h-relation cost state for the communication subproblem."""
+
+    def __init__(self, schedule: BspSchedule) -> None:
+        self.schedule = schedule
+        self.dag = schedule.dag
+        self.machine = schedule.machine
+        self.P = self.machine.P
+        self.g = float(self.machine.g)
+        self.numa = self.machine.numa
+        self.S = schedule.num_supersteps
+
+        # Required transfers with their allowed window [tau(u), first_need - 1].
+        self.transfers: List[Tuple[int, int]] = []  # (node u, target processor q)
+        self.window: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for (u, q), first_need in schedule.required_transfers().items():
+            lo = int(schedule.step[u])
+            hi = first_need - 1
+            self.transfers.append((u, q))
+            self.window[(u, q)] = (lo, hi)
+
+        # Current phase of every transfer: start from the schedule's explicit
+        # Gamma when available (keeping only direct sends), otherwise lazy.
+        self.current: Dict[Tuple[int, int], int] = {}
+        explicit = schedule.comm
+        if explicit is not None:
+            direct: Dict[Tuple[int, int], int] = {}
+            for (v, p1, p2, s) in explicit:
+                if p1 == int(schedule.proc[v]) and p2 != p1:
+                    key = (v, p2)
+                    if key in self.window and self.window[key][0] <= s <= self.window[key][1]:
+                        direct[key] = min(s, direct.get(key, s))
+            for key in self.transfers:
+                lo, hi = self.window[key]
+                self.current[key] = direct.get(key, hi)
+        else:
+            for key in self.transfers:
+                self.current[key] = self.window[key][1]
+
+        self.send = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
+        self.recv = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
+        for (u, q), s in self.current.items():
+            self._add(u, q, s, +1.0)
+        self.step_comm = np.zeros(max(self.S, 1), dtype=np.float64)
+        for s in range(self.S):
+            self.step_comm[s] = self._step_cost(s)
+        self.comm_total = float(self.step_comm.sum())
+
+    # ------------------------------------------------------------------
+    def _add(self, u: int, q: int, s: int, sign: float) -> None:
+        p_from = int(self.schedule.proc[u])
+        volume = float(self.dag.comm[u]) * float(self.numa[p_from, q]) * sign
+        self.send[s, p_from] += volume
+        self.recv[s, q] += volume
+
+    def _step_cost(self, s: int) -> float:
+        return max(float(self.send[s].max()), float(self.recv[s].max()))
+
+    def _refresh(self, steps) -> None:
+        for s in set(steps):
+            new = self._step_cost(s)
+            self.comm_total += new - self.step_comm[s]
+            self.step_comm[s] = new
+
+    def move(self, u: int, q: int, new_step: int) -> float:
+        """Reschedule the transfer ``u -> q`` to ``new_step``; return new h-cost sum."""
+        old = self.current[(u, q)]
+        if new_step == old:
+            return self.comm_total
+        self._add(u, q, old, -1.0)
+        self._add(u, q, new_step, +1.0)
+        self.current[(u, q)] = new_step
+        self._refresh((old, new_step))
+        return self.comm_total
+
+    def total_comm_cost(self) -> float:
+        """Sum over supersteps of the h-relation cost (not yet times ``g``)."""
+        return self.comm_total
+
+    def to_comm_schedule(self) -> CommSchedule:
+        comm = CommSchedule()
+        for (u, q), s in self.current.items():
+            comm.add(u, int(self.schedule.proc[u]), q, s)
+        return comm
+
+
+@dataclass
+class CommHillClimbingResult:
+    """Outcome of a communication-schedule hill-climbing run."""
+
+    schedule: BspSchedule
+    initial_cost: float
+    final_cost: float
+    moves_applied: int
+    reached_local_optimum: bool
+
+
+def comm_hill_climb(
+    schedule: BspSchedule,
+    *,
+    max_moves: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> CommHillClimbingResult:
+    """Optimize the communication schedule of a fixed (pi, tau) assignment."""
+    initial_cost = float(schedule.cost())
+    state = CommScheduleState(schedule)
+    start = time.monotonic()
+    moves_applied = 0
+
+    def out_of_budget() -> bool:
+        if max_moves is not None and moves_applied >= max_moves:
+            return True
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            return True
+        return False
+
+    improved_any = True
+    while improved_any and not out_of_budget():
+        improved_any = False
+        for (u, q) in state.transfers:
+            if out_of_budget():
+                break
+            lo, hi = state.window[(u, q)]
+            if lo >= hi:
+                continue
+            current_step = state.current[(u, q)]
+            current_cost = state.comm_total
+            for s in range(lo, hi + 1):
+                if s == current_step:
+                    continue
+                new_cost = state.move(u, q, s)
+                if new_cost < current_cost - _EPS:
+                    moves_applied += 1
+                    improved_any = True
+                    break
+                state.move(u, q, current_step)
+
+    out = schedule.copy()
+    out.comm = state.to_comm_schedule()
+    return CommHillClimbingResult(
+        schedule=out,
+        initial_cost=initial_cost,
+        final_cost=float(out.cost()),
+        moves_applied=moves_applied,
+        reached_local_optimum=not improved_any,
+    )
+
+
+class CommScheduleImprover:
+    """Object-style wrapper so HCcs can be plugged into the pipeline config."""
+
+    name = "HCcs"
+
+    def __init__(self, max_moves: Optional[int] = None, time_limit: Optional[float] = None) -> None:
+        self.max_moves = max_moves
+        self.time_limit = time_limit
+
+    def improve(self, schedule: BspSchedule) -> BspSchedule:
+        """Return the schedule with an optimized explicit communication schedule."""
+        return comm_hill_climb(
+            schedule, max_moves=self.max_moves, time_limit=self.time_limit
+        ).schedule

@@ -1,0 +1,266 @@
+"""Incremental cost state for the hill-climbing local search.
+
+The paper's HC algorithm (Section 4.3, Appendix A.3) relies on data
+structures that allow the cost change of a candidate move to be evaluated
+without recomputing the whole schedule cost.  This module provides that
+state for schedules with a *lazy* communication schedule:
+
+* per-superstep, per-processor work / send / receive matrices,
+* for every node ``u`` and processor ``p``, the multiset of supersteps of
+  ``u``'s successors assigned to ``p`` — whose minimum determines the
+  (lazy) communication step of the transfer ``u -> p``,
+* the per-superstep cost contributions and their running total.
+
+Moves are applied with :meth:`LocalSearchState.apply_move`, which updates
+only the affected rows and returns the new total cost; a rejected move is
+reverted by applying the inverse move.  This "apply, inspect, maybe revert"
+protocol keeps the implementation simple while still touching only the
+supersteps affected by the move.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+
+__all__ = ["LocalSearchState", "Move"]
+
+Move = Tuple[int, int, int]
+"""A candidate move ``(node, new_processor, new_superstep)``."""
+
+
+class LocalSearchState:
+    """Mutable scheduling state with incremental BSP+NUMA cost maintenance."""
+
+    #: Number of spare superstep rows kept at the end of the matrices so that
+    #: moves into a brand new superstep never need an immediate reallocation.
+    _SLACK = 4
+
+    def __init__(self, schedule: BspSchedule) -> None:
+        self.dag: ComputationalDAG = schedule.dag
+        self.machine: BspMachine = schedule.machine
+        self.proc = schedule.proc.copy()
+        self.step = schedule.step.copy()
+        n = self.dag.n
+        self.P = self.machine.P
+        self.g = float(self.machine.g)
+        self.l = float(self.machine.l)
+        self.numa = self.machine.numa
+
+        max_step = int(self.step.max()) if n else 0
+        self.S = max_step + 1 + self._SLACK
+        self.work = np.zeros((self.S, self.P), dtype=np.float64)
+        self.send = np.zeros((self.S, self.P), dtype=np.float64)
+        self.recv = np.zeros((self.S, self.P), dtype=np.float64)
+
+        # succ_steps[u][p] is a Counter mapping superstep -> how many
+        # successors of u are assigned to processor p in that superstep.
+        self.succ_steps: List[List[Counter]] = [
+            [Counter() for _ in range(self.P)] for _ in range(n)
+        ]
+
+        for v in range(n):
+            self.work[self.step[v], self.proc[v]] += float(self.dag.work[v])
+        for (u, v) in self.dag.edges:
+            self.succ_steps[u][self.proc[v]][int(self.step[v])] += 1
+
+        for u in range(n):
+            for p in range(self.P):
+                if p == self.proc[u]:
+                    continue
+                needed = self._needed_step(u, p)
+                if needed is not None:
+                    self._add_comm(u, int(self.proc[u]), p, needed - 1, +1.0)
+
+        self.step_cost = np.zeros(self.S, dtype=np.float64)
+        for s in range(self.S):
+            self.step_cost[s] = self._compute_step_cost(s)
+        self.total_cost = float(self.step_cost.sum())
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _needed_step(self, u: int, p: int) -> Optional[int]:
+        """Earliest superstep in which a successor of ``u`` on ``p`` runs."""
+        counter = self.succ_steps[u][p]
+        if not counter:
+            return None
+        return min(counter)
+
+    def _add_comm(self, u: int, p_from: int, p_to: int, s: int, sign: float) -> None:
+        """Add/remove the lazy transfer of ``u`` from ``p_from`` to ``p_to`` at step ``s``."""
+        if p_from == p_to:
+            return
+        volume = float(self.dag.comm[u]) * float(self.numa[p_from, p_to]) * sign
+        self.send[s, p_from] += volume
+        self.recv[s, p_to] += volume
+
+    def _compute_step_cost(self, s: int) -> float:
+        work_row = self.work[s]
+        send_row = self.send[s]
+        recv_row = self.recv[s]
+        w = float(work_row.max()) if self.P else 0.0
+        h = max(float(send_row.max()), float(recv_row.max())) if self.P else 0.0
+        occurs = (work_row.sum() > 1e-12) or (send_row.sum() > 1e-12) or (recv_row.sum() > 1e-12)
+        return w + self.g * h + (self.l if occurs else 0.0)
+
+    def _refresh_steps(self, steps: Iterable[int]) -> None:
+        for s in set(steps):
+            if 0 <= s < self.S:
+                new = self._compute_step_cost(s)
+                self.total_cost += new - self.step_cost[s]
+                self.step_cost[s] = new
+
+    def _ensure_capacity(self, s: int) -> None:
+        if s < self.S:
+            return
+        extra = s - self.S + 1 + self._SLACK
+        self.work = np.vstack([self.work, np.zeros((extra, self.P))])
+        self.send = np.vstack([self.send, np.zeros((extra, self.P))])
+        self.recv = np.vstack([self.recv, np.zeros((extra, self.P))])
+        self.step_cost = np.concatenate([self.step_cost, np.zeros(extra)])
+        self.S += extra
+
+    # ------------------------------------------------------------------
+    # Move validity
+    # ------------------------------------------------------------------
+    def is_move_valid(self, v: int, new_proc: int, new_step: int) -> bool:
+        """Check whether moving ``v`` keeps the (lazy-comm) schedule valid.
+
+        Assignments of all other nodes are unchanged, so the conditions are
+        local: every predecessor must still be able to deliver its value and
+        every successor must still receive ``v``'s value in time.
+        """
+        if new_step < 0 or not (0 <= new_proc < self.P):
+            return False
+        if new_proc == self.proc[v] and new_step == self.step[v]:
+            return False
+        for u in self.dag.parents(v):
+            if int(self.proc[u]) == new_proc:
+                if int(self.step[u]) > new_step:
+                    return False
+            else:
+                if int(self.step[u]) >= new_step:
+                    return False
+        for w in self.dag.children(v):
+            if int(self.proc[w]) == new_proc:
+                if new_step > int(self.step[w]):
+                    return False
+            else:
+                if new_step >= int(self.step[w]):
+                    return False
+        return True
+
+    def candidate_moves(self, v: int) -> List[Move]:
+        """All valid moves of ``v`` to any processor in supersteps s-1, s, s+1."""
+        s = int(self.step[v])
+        moves: List[Move] = []
+        for target_step in (s - 1, s, s + 1):
+            for p in range(self.P):
+                if self.is_move_valid(v, p, target_step):
+                    moves.append((v, p, target_step))
+        return moves
+
+    # ------------------------------------------------------------------
+    # Applying moves
+    # ------------------------------------------------------------------
+    def apply_move(self, v: int, new_proc: int, new_step: int) -> float:
+        """Apply the move and return the new total cost.
+
+        The caller is responsible for only applying valid moves (see
+        :meth:`is_move_valid`); to revert, apply the inverse move with the
+        node's previous processor and superstep.
+        """
+        old_proc = int(self.proc[v])
+        old_step = int(self.step[v])
+        self._ensure_capacity(new_step)
+        touched: Set[int] = {old_step, new_step}
+
+        # --- work matrix -------------------------------------------------
+        w_v = float(self.dag.work[v])
+        self.work[old_step, old_proc] -= w_v
+        self.work[new_step, new_proc] += w_v
+
+        # --- outgoing transfers of v (v as the producer) -------------------
+        # The set of target processors and their needed steps do not change,
+        # but the source processor (and hence the NUMA weight and the sending
+        # processor's load) does, and targets equal to the old/new processor
+        # appear/disappear.
+        for p in range(self.P):
+            needed = self._needed_step(v, p)
+            if needed is None:
+                continue
+            if p != old_proc:
+                self._add_comm(v, old_proc, p, needed - 1, -1.0)
+                touched.add(needed - 1)
+            if p != new_proc:
+                self._add_comm(v, new_proc, p, needed - 1, +1.0)
+                touched.add(needed - 1)
+
+        # --- incoming transfers (v as a consumer of its predecessors) ------
+        for u in self.dag.parents(v):
+            pu = int(self.proc[u])
+            # The only target processors whose "first needed" superstep can
+            # change are v's old and new processor (a single set entry when
+            # the move only changes the superstep).
+            affected_targets = {old_proc, new_proc}
+            old_needed = {q: self._needed_step(u, q) for q in affected_targets}
+            self.succ_steps[u][old_proc][old_step] -= 1
+            if self.succ_steps[u][old_proc][old_step] == 0:
+                del self.succ_steps[u][old_proc][old_step]
+            self.succ_steps[u][new_proc][new_step] += 1
+            for q in affected_targets:
+                if q == pu:
+                    continue
+                new_needed = self._needed_step(u, q)
+                if old_needed[q] == new_needed:
+                    continue
+                if old_needed[q] is not None:
+                    self._add_comm(u, pu, q, old_needed[q] - 1, -1.0)
+                    touched.add(old_needed[q] - 1)
+                if new_needed is not None:
+                    self._add_comm(u, pu, q, new_needed - 1, +1.0)
+                    touched.add(new_needed - 1)
+
+        self.proc[v] = new_proc
+        self.step[v] = new_step
+        self._refresh_steps(touched)
+        return self.total_cost
+
+    def evaluate_move(self, v: int, new_proc: int, new_step: int) -> float:
+        """Cost after the move, computed by apply + revert (state unchanged)."""
+        old_proc, old_step = int(self.proc[v]), int(self.step[v])
+        new_cost = self.apply_move(v, new_proc, new_step)
+        self.apply_move(v, old_proc, old_step)
+        return new_cost
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_schedule(self) -> BspSchedule:
+        """Materialize the current state as a (lazy-comm) BSP schedule with
+        compacted superstep indices.
+
+        Compaction removes empty supersteps, so the returned schedule's cost
+        is less than or equal to :attr:`total_cost` (which prices the
+        schedule exactly as currently laid out).
+        """
+        sched = BspSchedule(self.dag, self.machine, self.proc.copy(), self.step.copy())
+        return sched.normalized()
+
+    def current_schedule(self) -> BspSchedule:
+        """The schedule exactly as laid out (no superstep compaction)."""
+        return BspSchedule(self.dag, self.machine, self.proc.copy(), self.step.copy())
+
+    def recompute_cost(self) -> float:
+        """Recompute the total cost of the current layout from scratch.
+
+        Testing / debugging aid: must always equal :attr:`total_cost`.
+        """
+        return float(self.current_schedule().cost())

@@ -1,0 +1,94 @@
+"""Communication schedules (the Gamma component of a BSP schedule).
+
+A communication schedule is a set of 4-tuples ``(v, p_from, p_to, s)``
+meaning "the output value of node ``v`` is sent from processor ``p_from`` to
+processor ``p_to`` in the communication phase of superstep ``s``" (paper
+Section 3.2).
+
+Most of the heuristic schedulers in this package do not construct Gamma
+explicitly; they rely on the *lazy* communication schedule in which every
+required value is sent directly from the processor that computed it, in the
+last possible communication phase (paper Appendix A).  The helpers here
+materialize that lazy schedule and provide the bookkeeping shared by the
+communication-scheduling optimizers (HCcs and ILPcs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+__all__ = ["CommEntry", "CommSchedule"]
+
+
+CommEntry = Tuple[int, int, int, int]
+"""A communication step ``(node, from_processor, to_processor, superstep)``."""
+
+
+@dataclass
+class CommSchedule:
+    """A set of communication steps with convenience accessors."""
+
+    entries: Set[CommEntry] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.entries = {tuple(int(x) for x in e) for e in self.entries}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, v: int, p_from: int, p_to: int, step: int) -> None:
+        """Add a communication step (idempotent)."""
+        self.entries.add((int(v), int(p_from), int(p_to), int(step)))
+
+    def remove(self, v: int, p_from: int, p_to: int, step: int) -> None:
+        """Remove a communication step; raises ``KeyError`` if absent."""
+        self.entries.remove((int(v), int(p_from), int(p_to), int(step)))
+
+    def discard(self, v: int, p_from: int, p_to: int, step: int) -> None:
+        """Remove a communication step if present."""
+        self.entries.discard((int(v), int(p_from), int(p_to), int(step)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[CommEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, entry: CommEntry) -> bool:
+        return tuple(int(x) for x in entry) in self.entries
+
+    def copy(self) -> "CommSchedule":
+        return CommSchedule(set(self.entries))
+
+    def max_step(self) -> int:
+        """Largest superstep index used by any entry (-1 if empty)."""
+        if not self.entries:
+            return -1
+        return max(e[3] for e in self.entries)
+
+    def by_step(self) -> Dict[int, List[CommEntry]]:
+        """Group entries by superstep."""
+        out: Dict[int, List[CommEntry]] = {}
+        for e in sorted(self.entries):
+            out.setdefault(e[3], []).append(e)
+        return out
+
+    def entries_for_node(self, v: int) -> List[CommEntry]:
+        """All entries sending the value of node ``v``."""
+        return sorted(e for e in self.entries if e[0] == v)
+
+    def targets_of(self, v: int) -> Set[int]:
+        """Processors that (eventually) receive the value of ``v``."""
+        return {e[2] for e in self.entries if e[0] == v}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommSchedule):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CommSchedule({len(self.entries)} entries)"

@@ -1,0 +1,138 @@
+"""Cost evaluation in the NUMA-extended BSP model (paper Section 3.3 / 3.4).
+
+The cost of a superstep ``s`` is
+
+    C(s) = C_work(s) + g * C_comm(s) + l
+
+where
+
+* ``C_work(s)`` is the maximum total work weight assigned to any processor in
+  the computation phase of ``s``,
+* ``C_comm(s)`` is the h-relation cost: the maximum, over processors, of the
+  amount of data sent or received by that processor in the communication
+  phase of ``s`` — with every unit of data from ``p1`` to ``p2`` weighted by
+  the NUMA coefficient ``lambda[p1, p2]``,
+* ``l`` is the fixed latency charged for every superstep that occurs.
+
+The total cost of a schedule is the sum of ``C(s)`` over all supersteps that
+occur (i.e. supersteps with at least some computation or communication).
+This module is the single source of truth for the cost formula; every
+scheduler and every experiment compares schedules through :func:`evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .schedule import BspSchedule
+
+__all__ = ["CostBreakdown", "evaluate", "superstep_matrices"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-superstep decomposition of a schedule's cost.
+
+    Attributes
+    ----------
+    total:
+        Total schedule cost (work + g * comm + latency summed over supersteps).
+    work_cost:
+        Sum over supersteps of the maximum per-processor work.
+    comm_cost:
+        Sum over supersteps of ``g`` times the h-relation cost.
+    latency_cost:
+        ``l`` times the number of supersteps that occur.
+    num_supersteps:
+        Number of supersteps that occur (non-empty in work or communication).
+    work_per_step:
+        Array of per-superstep work costs (max over processors).
+    comm_per_step:
+        Array of per-superstep h-relation costs (already NUMA weighted, not
+        yet multiplied by ``g``).
+    work_matrix:
+        ``(S, P)`` matrix of total work per superstep and processor.
+    send_matrix / recv_matrix:
+        ``(S, P)`` matrices of NUMA-weighted data sent / received.
+    """
+
+    total: float
+    work_cost: float
+    comm_cost: float
+    latency_cost: float
+    num_supersteps: int
+    work_per_step: np.ndarray
+    comm_per_step: np.ndarray
+    work_matrix: np.ndarray
+    send_matrix: np.ndarray
+    recv_matrix: np.ndarray
+
+
+def superstep_matrices(schedule: BspSchedule):
+    """Compute the raw ``(S, P)`` work / send / receive matrices of a schedule.
+
+    ``S`` is the number of superstep *indices* spanned (``max index + 1``);
+    empty supersteps simply have all-zero rows.  Communication is taken from
+    the schedule's effective Gamma (explicit if attached, lazy otherwise).
+    """
+    dag = schedule.dag
+    machine = schedule.machine
+    P = machine.P
+    S = schedule.num_supersteps
+    work = np.zeros((max(S, 1), P), dtype=np.float64)
+    send = np.zeros((max(S, 1), P), dtype=np.float64)
+    recv = np.zeros((max(S, 1), P), dtype=np.float64)
+    if dag.n == 0:
+        return work[:0], send[:0], recv[:0]
+
+    np.add.at(work, (schedule.step, schedule.proc), dag.work.astype(np.float64))
+
+    comm = schedule.effective_comm_schedule()
+    numa = machine.numa
+    for (v, p1, p2, s) in comm:
+        if p1 == p2:
+            continue
+        volume = float(dag.comm[v]) * float(numa[p1, p2])
+        send[s, p1] += volume
+        recv[s, p2] += volume
+    return work[:S], send[:S], recv[:S]
+
+
+def evaluate(schedule: BspSchedule) -> CostBreakdown:
+    """Evaluate the total BSP+NUMA cost of a schedule.
+
+    The schedule does not have to be valid; validity is checked separately by
+    :meth:`BspSchedule.validate`.  Latency is charged once per superstep that
+    has any computation or communication.
+    """
+    machine = schedule.machine
+    work, send, recv = superstep_matrices(schedule)
+    S = work.shape[0]
+    if S == 0:
+        empty = np.zeros(0)
+        return CostBreakdown(0.0, 0.0, 0.0, 0.0, 0, empty, empty, work, send, recv)
+
+    work_per_step = work.max(axis=1)
+    comm_per_step = np.maximum(send.max(axis=1), recv.max(axis=1))
+    occurs = (work.sum(axis=1) > 0) | (send.sum(axis=1) > 0) | (recv.sum(axis=1) > 0)
+    num_occurring = int(np.count_nonzero(occurs))
+
+    work_cost = float(work_per_step.sum())
+    comm_cost = float(machine.g) * float(comm_per_step.sum())
+    latency_cost = float(machine.l) * num_occurring
+    total = work_cost + comm_cost + latency_cost
+    return CostBreakdown(
+        total=total,
+        work_cost=work_cost,
+        comm_cost=comm_cost,
+        latency_cost=latency_cost,
+        num_supersteps=num_occurring,
+        work_per_step=work_per_step,
+        comm_per_step=comm_per_step,
+        work_matrix=work,
+        send_matrix=send,
+        recv_matrix=recv,
+    )

@@ -1,0 +1,179 @@
+"""BSP machine model with optional NUMA extension.
+
+A machine (paper Sections 3.2 and 3.4) is described by:
+
+* ``P``  — number of processors,
+* ``g``  — time cost of sending a single unit of data,
+* ``l``  — latency (fixed overhead) of every superstep,
+* ``numa`` — an optional ``P x P`` matrix of per-pair communication cost
+  coefficients ``lambda[p1, p2]``.  The uniform (non-NUMA) case corresponds
+  to ``lambda[p1, p2] = 1`` for ``p1 != p2`` and ``0`` on the diagonal.
+
+The paper's NUMA experiments use a binary-tree hierarchy over the processors
+where the per-unit cost grows by a factor ``delta`` for every level of the
+hierarchy that a message has to cross; :meth:`BspMachine.hierarchical`
+constructs exactly that matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BspMachine", "MachineValidationError"]
+
+
+class MachineValidationError(ValueError):
+    """Raised for invalid machine descriptions."""
+
+
+@dataclass
+class BspMachine:
+    """Description of the target architecture in the (NUMA-extended) BSP model."""
+
+    P: int
+    g: float = 1.0
+    l: float = 0.0
+    numa: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.P <= 0:
+            raise MachineValidationError("P must be positive")
+        if self.g < 0 or self.l < 0:
+            raise MachineValidationError("g and l must be non-negative")
+        if self.numa is None:
+            numa = np.ones((self.P, self.P), dtype=np.float64)
+            np.fill_diagonal(numa, 0.0)
+            self.numa = numa
+            self._uniform = True
+        else:
+            numa = np.asarray(self.numa, dtype=np.float64).copy()
+            if numa.shape != (self.P, self.P):
+                raise MachineValidationError(
+                    f"NUMA matrix must be {self.P}x{self.P}, got {numa.shape}"
+                )
+            if np.any(numa < 0):
+                raise MachineValidationError("NUMA coefficients must be non-negative")
+            if np.any(np.diag(numa) != 0):
+                raise MachineValidationError("NUMA diagonal (self-communication) must be 0")
+            self.numa = numa
+            off_diag = numa[~np.eye(self.P, dtype=bool)]
+            self._uniform = bool(off_diag.size == 0 or np.all(off_diag == 1.0))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, P: int, g: float = 1.0, l: float = 0.0) -> "BspMachine":
+        """Classic BSP machine with uniform inter-processor costs."""
+        return cls(P=P, g=g, l=l)
+
+    @classmethod
+    def hierarchical(
+        cls, P: int, delta: float, g: float = 1.0, l: float = 0.0
+    ) -> "BspMachine":
+        """Binary-tree NUMA hierarchy over ``P`` processors (paper Section 6).
+
+        Processors are the leaves of a complete binary tree; the per-unit
+        cost between two processors is ``delta ** (levels_crossed - 1)`` where
+        ``levels_crossed`` is the height of their lowest common ancestor.
+        With ``P = 8`` and ``delta = 3`` this gives ``lambda[0, 1] = 1``,
+        ``lambda[0, 2] = lambda[0, 3] = 3`` and ``lambda[0, p] = 9`` for
+        ``p in {4..7}``, matching the example in the paper.
+        """
+        if P < 1:
+            raise MachineValidationError("P must be positive")
+        if P & (P - 1) != 0:
+            raise MachineValidationError("hierarchical machines require P to be a power of two")
+        if delta <= 0:
+            raise MachineValidationError("delta must be positive")
+        numa = np.zeros((P, P), dtype=np.float64)
+        for p1 in range(P):
+            for p2 in range(P):
+                if p1 == p2:
+                    continue
+                # Height of the lowest common ancestor in the binary tree
+                # = position of the highest differing bit + 1.
+                diff = p1 ^ p2
+                level = diff.bit_length()  # >= 1
+                numa[p1, p2] = float(delta) ** (level - 1)
+        return cls(P=P, g=g, l=l, numa=numa)
+
+    @classmethod
+    def from_groups(
+        cls,
+        group_sizes: Sequence[int],
+        intra: float = 1.0,
+        inter: float = 4.0,
+        g: float = 1.0,
+        l: float = 0.0,
+    ) -> "BspMachine":
+        """Two-level NUMA machine: cheap within a group, expensive across.
+
+        Useful for modelling multi-socket nodes (a coarser alternative to the
+        binary-tree hierarchy).
+        """
+        P = int(sum(group_sizes))
+        if P <= 0:
+            raise MachineValidationError("total processor count must be positive")
+        group = np.zeros(P, dtype=np.int64)
+        idx = 0
+        for gi, size in enumerate(group_sizes):
+            if size <= 0:
+                raise MachineValidationError("group sizes must be positive")
+            group[idx : idx + size] = gi
+            idx += size
+        numa = np.where(group[:, None] == group[None, :], float(intra), float(inter))
+        np.fill_diagonal(numa, 0.0)
+        return cls(P=P, g=g, l=l, numa=numa)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_uniform(self) -> bool:
+        """True if all off-diagonal NUMA coefficients equal 1 (plain BSP)."""
+        return self._uniform
+
+    def coefficient(self, p1: int, p2: int) -> float:
+        """Per-unit cost ``lambda[p1, p2]`` of sending data from p1 to p2."""
+        return float(self.numa[p1, p2])
+
+    def average_coefficient(self) -> float:
+        """Average off-diagonal NUMA coefficient.
+
+        The paper's BL-EST/ETF baselines use this average to estimate
+        communication delays when NUMA effects are present (Appendix A.1).
+        """
+        if self.P == 1:
+            return 0.0
+        mask = ~np.eye(self.P, dtype=bool)
+        return float(np.mean(self.numa[mask]))
+
+    def max_coefficient(self) -> float:
+        """Largest pairwise NUMA coefficient."""
+        return float(np.max(self.numa))
+
+    def with_parameters(
+        self,
+        *,
+        g: Optional[float] = None,
+        l: Optional[float] = None,
+    ) -> "BspMachine":
+        """Copy of this machine with ``g`` and/or ``l`` replaced."""
+        return BspMachine(
+            P=self.P,
+            g=self.g if g is None else g,
+            l=self.l if l is None else l,
+            numa=self.numa.copy(),
+        )
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        kind = "uniform" if self.is_uniform else "NUMA"
+        return f"BspMachine(P={self.P}, g={self.g}, l={self.l}, {kind})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()

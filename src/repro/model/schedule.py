@@ -1,0 +1,327 @@
+"""BSP schedules: node-to-(processor, superstep) assignment plus Gamma.
+
+A BSP schedule (paper Section 3.2) consists of
+
+* ``pi``  — assignment of nodes to processors (``proc`` array here),
+* ``tau`` — assignment of nodes to supersteps (``step`` array here),
+* ``Gamma`` — the communication schedule, a set of ``(v, p1, p2, s)`` steps.
+
+Heuristic schedulers typically produce only ``pi``/``tau`` and rely on the
+*lazy* communication schedule (every value sent directly from its producer in
+the last possible communication phase); :meth:`BspSchedule.lazy_comm_schedule`
+derives it.  The communication-schedule optimizers (HCcs, ILPcs) attach an
+explicit, optimized Gamma instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from .comm import CommEntry, CommSchedule
+from .machine import BspMachine
+
+__all__ = ["BspSchedule", "ScheduleValidationError", "legalize_superstep_assignment"]
+
+
+def legalize_superstep_assignment(
+    dag: ComputationalDAG, proc: np.ndarray, step: np.ndarray
+) -> np.ndarray:
+    """Return the smallest superstep assignment >= ``step`` that is valid.
+
+    Given a fixed processor assignment, a superstep assignment combined with
+    the lazy communication schedule is valid iff for every edge ``(u, v)``
+    we have ``step[u] <= step[v]`` when both endpoints share a processor and
+    ``step[u] < step[v]`` otherwise.  This pass raises supersteps in
+    topological order until both conditions hold; it never lowers a step.
+    Several schedulers (HDagg wavefront repair, multilevel projection) use it
+    as a final legalization step.
+    """
+    out = np.asarray(step, dtype=np.int64).copy()
+    proc = np.asarray(proc, dtype=np.int64)
+    for v in dag.topological_order():
+        required = 0
+        for u in dag.parents(v):
+            if proc[u] == proc[v]:
+                required = max(required, int(out[u]))
+            else:
+                required = max(required, int(out[u]) + 1)
+        if out[v] < required:
+            out[v] = required
+    return out
+
+
+class ScheduleValidationError(ValueError):
+    """Raised when a schedule violates the BSP validity conditions."""
+
+
+@dataclass
+class BspSchedule:
+    """A (possibly partial-Gamma) BSP schedule of a DAG on a machine."""
+
+    dag: ComputationalDAG
+    machine: BspMachine
+    proc: np.ndarray
+    step: np.ndarray
+    comm: Optional[CommSchedule] = None
+
+    def __post_init__(self) -> None:
+        self.proc = np.asarray(self.proc, dtype=np.int64).copy()
+        self.step = np.asarray(self.step, dtype=np.int64).copy()
+        if len(self.proc) != self.dag.n or len(self.step) != self.dag.n:
+            raise ScheduleValidationError("proc/step arrays must have one entry per node")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def trivial(cls, dag: ComputationalDAG, machine: BspMachine) -> "BspSchedule":
+        """The trivial schedule: every node on processor 0 in superstep 0.
+
+        The paper uses this as the sanity baseline in communication-dominated
+        settings (Section 7.3): a sequential execution with a single
+        superstep and no communication at all.
+        """
+        return cls(
+            dag=dag,
+            machine=machine,
+            proc=np.zeros(dag.n, dtype=np.int64),
+            step=np.zeros(dag.n, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_assignment(
+        cls,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        proc: Sequence[int],
+        step: Sequence[int],
+        comm: Optional[CommSchedule] = None,
+    ) -> "BspSchedule":
+        """Build a schedule from explicit assignment arrays."""
+        return cls(dag=dag, machine=machine, proc=np.asarray(proc), step=np.asarray(step), comm=comm)
+
+    def copy(self) -> "BspSchedule":
+        return BspSchedule(
+            dag=self.dag,
+            machine=self.machine,
+            proc=self.proc.copy(),
+            step=self.step.copy(),
+            comm=self.comm.copy() if self.comm is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_supersteps(self) -> int:
+        """Number of supersteps spanned by the schedule (computation and
+        communication phases included)."""
+        if self.dag.n == 0:
+            return 0
+        last = int(self.step.max()) if self.dag.n else -1
+        if self.comm is not None and len(self.comm) > 0:
+            last = max(last, self.comm.max_step())
+        return last + 1
+
+    def nodes_in_superstep(self, s: int) -> List[int]:
+        """Nodes whose computation is assigned to superstep ``s``."""
+        return [v for v in range(self.dag.n) if self.step[v] == s]
+
+    def nodes_on_processor(self, p: int) -> List[int]:
+        """Nodes assigned to processor ``p``."""
+        return [v for v in range(self.dag.n) if self.proc[v] == p]
+
+    def assignment(self, v: int) -> Tuple[int, int]:
+        """``(processor, superstep)`` of node ``v``."""
+        return int(self.proc[v]), int(self.step[v])
+
+    # ------------------------------------------------------------------
+    # Communication handling
+    # ------------------------------------------------------------------
+    def required_transfers(self) -> Dict[Tuple[int, int], int]:
+        """Values that must cross processors, with their deadline superstep.
+
+        Returns a dict mapping ``(node u, target processor p)`` to the first
+        superstep in which some successor of ``u`` assigned to ``p`` is
+        computed.  The value of ``u`` must therefore arrive at ``p`` in the
+        communication phase of some *earlier* superstep.
+        """
+        needed: Dict[Tuple[int, int], int] = {}
+        for (u, v) in self.dag.edges:
+            if self.proc[u] == self.proc[v]:
+                continue
+            key = (u, int(self.proc[v]))
+            sv = int(self.step[v])
+            if key not in needed or sv < needed[key]:
+                needed[key] = sv
+        return needed
+
+    def lazy_comm_schedule(self) -> CommSchedule:
+        """The lazy Gamma: each required value sent directly from its
+        producer in the last possible communication phase (deadline - 1)."""
+        comm = CommSchedule()
+        for (u, p_target), first_needed in self.required_transfers().items():
+            comm.add(u, int(self.proc[u]), p_target, first_needed - 1)
+        return comm
+
+    def effective_comm_schedule(self) -> CommSchedule:
+        """The explicit Gamma if attached, otherwise the lazy one."""
+        if self.comm is not None:
+            return self.comm
+        return self.lazy_comm_schedule()
+
+    def with_lazy_comm(self) -> "BspSchedule":
+        """Copy of the schedule with the lazy Gamma attached explicitly."""
+        out = self.copy()
+        out.comm = self.lazy_comm_schedule()
+        return out
+
+    def without_comm(self) -> "BspSchedule":
+        """Copy with the explicit Gamma dropped (revert to implicit lazy)."""
+        out = self.copy()
+        out.comm = None
+        return out
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validation_errors(self) -> List[str]:
+        """Check the BSP validity conditions; return a list of violations.
+
+        An empty list means the schedule is valid.  The two conditions from
+        paper Section 3.2 are checked, using the effective (explicit or lazy)
+        communication schedule:
+
+        1. for every edge ``(u, v)``: if both endpoints are on the same
+           processor then ``tau(u) <= tau(v)``; otherwise the value of ``u``
+           must be delivered to ``proc(v)`` strictly before superstep
+           ``tau(v)``;
+        2. every communication step must send a value that is actually
+           present on the sending processor at that time (either computed
+           there early enough or received by an earlier communication step).
+        """
+        errors: List[str] = []
+        P = self.machine.P
+        n = self.dag.n
+        if n == 0:
+            return errors
+        if np.any(self.proc < 0) or np.any(self.proc >= P):
+            errors.append("processor assignment out of range")
+            return errors
+        if np.any(self.step < 0):
+            errors.append("negative superstep assignment")
+            return errors
+
+        comm = self.effective_comm_schedule()
+
+        # presence[v] = dict processor -> earliest superstep at whose *end*
+        # (i.e. after its communication phase) the value of v is available
+        # there.  The producer has it available from its own compute step.
+        available: Dict[int, Dict[int, int]] = {v: {} for v in range(n)}
+        for v in range(n):
+            available[v][int(self.proc[v])] = int(self.step[v])
+
+        # Process communication entries in superstep order and check their
+        # own validity while building up availability.
+        for (v, p1, p2, s) in sorted(comm, key=lambda e: e[3]):
+            if not (0 <= v < n) or not (0 <= p1 < P) or not (0 <= p2 < P):
+                errors.append(f"communication entry {(v, p1, p2, s)} out of range")
+                continue
+            if s < 0:
+                errors.append(f"communication entry {(v, p1, p2, s)} has negative superstep")
+                continue
+            src_avail = available[v].get(p1)
+            # The value can be sent from p1 in superstep s if it was computed
+            # on p1 in superstep <= s, or received on p1 in a superstep < s.
+            ok = False
+            if p1 == int(self.proc[v]) and int(self.step[v]) <= s:
+                ok = True
+            elif src_avail is not None and src_avail < s:
+                ok = True
+            if not ok:
+                errors.append(
+                    f"communication entry {(v, p1, p2, s)} sends a value not present on "
+                    f"processor {p1} at superstep {s}"
+                )
+            prev = available[v].get(p2)
+            if prev is None or s < prev:
+                available[v][p2] = s
+
+        # Precedence constraints.
+        for (u, v) in self.dag.edges:
+            pu, pv = int(self.proc[u]), int(self.proc[v])
+            su, sv = int(self.step[u]), int(self.step[v])
+            if pu == pv:
+                if su > sv:
+                    errors.append(
+                        f"edge ({u}, {v}) violated: both on processor {pu} but "
+                        f"tau({u})={su} > tau({v})={sv}"
+                    )
+            else:
+                arrival = available[u].get(pv)
+                if arrival is None or arrival >= sv:
+                    errors.append(
+                        f"edge ({u}, {v}) violated: value of {u} not delivered to "
+                        f"processor {pv} before superstep {sv}"
+                    )
+        return errors
+
+    def is_valid(self) -> bool:
+        """True iff the schedule satisfies all BSP validity conditions."""
+        return not self.validation_errors()
+
+    def validate(self) -> None:
+        """Raise :class:`ScheduleValidationError` if the schedule is invalid."""
+        errors = self.validation_errors()
+        if errors:
+            raise ScheduleValidationError("; ".join(errors[:5]))
+
+    # ------------------------------------------------------------------
+    # Cost (delegates to repro.model.cost)
+    # ------------------------------------------------------------------
+    def cost(self) -> float:
+        """Total BSP+NUMA cost of the schedule (paper Section 3.3)."""
+        from .cost import evaluate
+
+        return evaluate(self).total
+
+    def cost_breakdown(self):
+        """Full per-superstep cost breakdown (see :mod:`repro.model.cost`)."""
+        from .cost import evaluate
+
+        return evaluate(self)
+
+    # ------------------------------------------------------------------
+    # Normalization helpers
+    # ------------------------------------------------------------------
+    def normalized(self) -> "BspSchedule":
+        """Copy with empty supersteps removed (step indices compacted).
+
+        Local search can empty out a superstep entirely; compacting keeps the
+        latency term consistent with the number of supersteps that actually
+        occur.  Comm entries are shifted accordingly.
+        """
+        used = set(int(s) for s in self.step)
+        comm = self.effective_comm_schedule() if self.comm is not None else None
+        if comm is not None:
+            used.update(e[3] for e in comm)
+        order = sorted(used)
+        remap = {s: i for i, s in enumerate(order)}
+        new_step = np.array([remap[int(s)] for s in self.step], dtype=np.int64)
+        new_comm = None
+        if comm is not None:
+            new_comm = CommSchedule()
+            for (v, p1, p2, s) in comm:
+                new_comm.add(v, p1, p2, remap[s])
+        return BspSchedule(self.dag, self.machine, self.proc.copy(), new_step, new_comm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BspSchedule(n={self.dag.n}, P={self.machine.P}, "
+            f"supersteps={self.num_supersteps}, "
+            f"comm={'explicit' if self.comm is not None else 'lazy'})"
+        )

@@ -1,0 +1,113 @@
+"""Uncoarsening and refinement (paper Section 4.5 / Appendix A.5).
+
+After the coarsest DAG has been scheduled, the contraction steps are undone
+in reverse order.  Every ``refine_interval`` uncontractions the current
+schedule is *projected* onto the (slightly finer) DAG — every finer cluster
+inherits the processor and superstep of the coarse cluster that contained it
+— and a bounded number of hill-climbing moves is run to adapt the schedule
+to the newly revealed structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..localsearch.hill_climbing import hill_climb
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule, legalize_superstep_assignment
+from .coarsen import CoarseningSequence, coarse_dag_from_partition
+
+__all__ = ["project_schedule", "uncoarsen_and_refine"]
+
+
+def project_schedule(
+    sequence: CoarseningSequence,
+    machine: BspMachine,
+    coarse_schedule: BspSchedule,
+    coarse_steps: int,
+    finer_steps: int,
+) -> BspSchedule:
+    """Project a schedule of the coarse DAG (after ``coarse_steps``
+    contractions) onto the finer DAG obtained after ``finer_steps``
+    contractions (``finer_steps <= coarse_steps``).
+
+    Every finer cluster is assigned the processor and superstep of the
+    coarse cluster containing it; since the coarse schedule was valid, the
+    projection is valid as well (edges inside a coarse cluster end up in the
+    same processor and superstep).  A legalization pass guards against any
+    remaining ordering issue.
+    """
+    if finer_steps > coarse_steps:
+        raise ValueError("finer_steps must not exceed coarse_steps")
+    fine_dag, fine_mapping = sequence.coarse_dag_after(finer_steps)
+    coarse_mapping = None
+    # Mapping from original nodes to coarse nodes of the *coarse* level.
+    _, coarse_mapping = sequence.coarse_dag_after(coarse_steps)
+
+    # For every fine cluster pick any original member; its coarse cluster
+    # determines the inherited assignment.
+    representative_original = {}
+    for original_node in range(sequence.dag.n):
+        fine_node = int(fine_mapping[original_node])
+        representative_original.setdefault(fine_node, original_node)
+
+    proc = np.zeros(fine_dag.n, dtype=np.int64)
+    step = np.zeros(fine_dag.n, dtype=np.int64)
+    for fine_node, original_node in representative_original.items():
+        coarse_node = int(coarse_mapping[original_node])
+        proc[fine_node] = coarse_schedule.proc[coarse_node]
+        step[fine_node] = coarse_schedule.step[coarse_node]
+    step = legalize_superstep_assignment(fine_dag, proc, step)
+    return BspSchedule(fine_dag, machine, proc, step)
+
+
+@dataclass
+class RefinementConfig:
+    """Tuning knobs of the uncoarsening phase."""
+
+    refine_interval: int = 5
+    hc_moves_per_refinement: int = 100
+    hc_variant: str = "first"
+
+
+def uncoarsen_and_refine(
+    sequence: CoarseningSequence,
+    machine: BspMachine,
+    coarse_schedule: BspSchedule,
+    *,
+    config: Optional[RefinementConfig] = None,
+) -> BspSchedule:
+    """Run the full uncoarsening + refinement phase.
+
+    Starts from a schedule of the coarsest DAG (after all recorded
+    contractions) and returns a schedule of the *original* DAG.
+    """
+    if config is None:
+        config = RefinementConfig()
+    total = sequence.num_contractions
+    current_steps = total
+    current_schedule = coarse_schedule
+
+    while current_steps > 0:
+        next_steps = max(0, current_steps - max(config.refine_interval, 1))
+        projected = project_schedule(
+            sequence, machine, current_schedule, current_steps, next_steps
+        )
+        result = hill_climb(
+            projected,
+            variant=config.hc_variant,
+            max_moves=config.hc_moves_per_refinement,
+        )
+        current_schedule = result.schedule
+        current_steps = next_steps
+
+    # The uncoarsening loop ends at the original DAG (0 contractions), whose
+    # node indexing is the identity; re-attach the original DAG object so the
+    # caller gets a schedule of exactly the DAG it passed in.
+    assert current_schedule.dag.n == sequence.dag.n
+    return BspSchedule(
+        sequence.dag, machine, current_schedule.proc.copy(), current_schedule.step.copy()
+    )

@@ -1,0 +1,15 @@
+"""The combined scheduling pipeline (paper Figures 3 and 4)."""
+
+from .adaptive import AdaptiveDecision, AdaptiveScheduler
+from .config import MultilevelConfig, PipelineConfig
+from .framework import FrameworkScheduler, PipelineResult, run_pipeline
+
+__all__ = [
+    "PipelineConfig",
+    "MultilevelConfig",
+    "run_pipeline",
+    "PipelineResult",
+    "FrameworkScheduler",
+    "AdaptiveScheduler",
+    "AdaptiveDecision",
+]

@@ -1,0 +1,109 @@
+"""Configuration of the combined scheduling pipeline (paper Fig. 3 / Fig. 4).
+
+The defaults mirror the paper's experimental setup, with time limits scaled
+down so that the pure-Python reproduction stays responsive; the
+:meth:`PipelineConfig.paper` constructor restores the paper's limits and
+:meth:`PipelineConfig.fast` shrinks everything further for tests and quick
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["PipelineConfig", "MultilevelConfig"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the combined scheduler (initializers + local search + ILPs)."""
+
+    # --- initialization heuristics -----------------------------------
+    use_bspg: bool = True
+    use_source: bool = True
+    use_ilp_init: bool = True
+    #: ILPinit is only competitive (and affordable) for few processors; the
+    #: paper restricts it to P = 4.
+    ilp_init_max_processors: int = 4
+    ilp_init_max_variables: int = 2000
+    ilp_init_time_limit: Optional[float] = 10.0
+
+    # --- local search --------------------------------------------------
+    hc_variant: str = "first"
+    hc_max_moves: Optional[int] = None
+    hc_time_limit: Optional[float] = 10.0
+    hccs_time_limit: Optional[float] = 2.0
+
+    # --- ILP stages ------------------------------------------------------
+    use_ilp_full: bool = True
+    ilp_full_max_variables: int = 20_000
+    ilp_full_time_limit: Optional[float] = 30.0
+    use_ilp_partial: bool = True
+    ilp_partial_max_variables: int = 4000
+    ilp_partial_time_limit: Optional[float] = 10.0
+    use_ilp_cs: bool = True
+    ilp_cs_time_limit: Optional[float] = 10.0
+
+    # --- misc -----------------------------------------------------------
+    solver_backend: str = "highs"
+    cilk_seed: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fast(cls) -> "PipelineConfig":
+        """Small limits for unit tests and smoke benchmarks."""
+        return cls(
+            use_ilp_init=False,
+            hc_max_moves=200,
+            hc_time_limit=2.0,
+            hccs_time_limit=0.5,
+            ilp_full_max_variables=4000,
+            ilp_full_time_limit=3.0,
+            ilp_partial_max_variables=1500,
+            ilp_partial_time_limit=2.0,
+            ilp_cs_time_limit=2.0,
+        )
+
+    @classmethod
+    def heuristics_only(cls) -> "PipelineConfig":
+        """Initializers + local search only (the paper's *huge* dataset mode)."""
+        return cls(
+            use_ilp_init=False,
+            use_ilp_full=False,
+            use_ilp_partial=False,
+            use_ilp_cs=False,
+        )
+
+    @classmethod
+    def paper(cls) -> "PipelineConfig":
+        """The paper's time limits (minutes-to-hours; use only for full runs)."""
+        return cls(
+            hc_time_limit=270.0,
+            hccs_time_limit=30.0,
+            ilp_init_time_limit=120.0,
+            ilp_full_time_limit=3600.0,
+            ilp_partial_time_limit=180.0,
+            ilp_cs_time_limit=300.0,
+        )
+
+    def without_ilp_cs(self) -> "PipelineConfig":
+        """Copy with the communication-schedule ILP disabled (used inside the
+        multilevel coarse solve, which re-runs ILPcs on the original DAG)."""
+        return replace(self, use_ilp_cs=False)
+
+
+@dataclass
+class MultilevelConfig:
+    """Knobs of the multilevel scheduler (paper Fig. 4)."""
+
+    #: Coarsening ratios to try; the best resulting schedule is returned.
+    coarsening_ratios: tuple = (0.3, 0.15)
+    #: Minimum size of the coarsened DAG (coarsening stops there regardless
+    #: of the ratio) — the paper skips multilevel scheduling on the tiny
+    #: dataset precisely because the coarse DAG would degenerate.
+    min_coarse_nodes: int = 8
+    light_edge_fraction: float = 1.0 / 3.0
+    refine_interval: int = 5
+    hc_moves_per_refinement: int = 100
+    base_pipeline: PipelineConfig = field(default_factory=PipelineConfig.fast)

@@ -1,0 +1,79 @@
+"""Scheduler registry: build any scheduler of the framework by name.
+
+The registry is the glue used by the command-line interface and by user code
+that wants to select algorithms from configuration files: every baseline,
+every initialization heuristic and both combined schedulers (the pipeline and
+the multilevel scheduler) are available under the short names used in the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .baselines.cilk import CilkScheduler
+from .baselines.hdagg import HDaggScheduler
+from .baselines.list_schedulers import BlEstScheduler, EtfScheduler
+from .baselines.trivial import LevelRoundRobinScheduler, TrivialScheduler
+from .heuristics.bspg import BspGreedyScheduler
+from .heuristics.source import SourceScheduler
+from .ilp.full import IlpFullScheduler
+from .ilp.init import IlpInitScheduler
+from .multilevel.scheduler import MultilevelScheduler
+from .pipeline.adaptive import AdaptiveScheduler
+from .pipeline.config import MultilevelConfig, PipelineConfig
+from .pipeline.framework import FrameworkScheduler
+from .scheduler import Scheduler
+
+__all__ = ["SCHEDULER_BUILDERS", "available_schedulers", "make_scheduler"]
+
+
+def _framework(fast: bool = True) -> Scheduler:
+    return FrameworkScheduler(PipelineConfig.fast() if fast else PipelineConfig())
+
+
+def _multilevel(fast: bool = True) -> Scheduler:
+    base = PipelineConfig.fast() if fast else PipelineConfig()
+    return MultilevelScheduler(MultilevelConfig(base_pipeline=base))
+
+
+#: Name -> zero-argument factory for every registered scheduler.
+SCHEDULER_BUILDERS: Dict[str, Callable[[], Scheduler]] = {
+    # Baselines (paper Section 4.1).
+    "cilk": lambda: CilkScheduler(seed=0),
+    "bl-est": BlEstScheduler,
+    "etf": EtfScheduler,
+    "hdagg": HDaggScheduler,
+    "trivial": TrivialScheduler,
+    "level-rr": LevelRoundRobinScheduler,
+    # Initialization heuristics (paper Section 4.2).
+    "bspg": BspGreedyScheduler,
+    "source": SourceScheduler,
+    "ilp-init": IlpInitScheduler,
+    # ILP-based standalone scheduler.
+    "ilp-full": IlpFullScheduler,
+    # Combined schedulers (paper Figures 3 and 4).
+    "framework": _framework,
+    "framework-full": lambda: _framework(fast=False),
+    "multilevel": _multilevel,
+    "multilevel-full": lambda: _multilevel(fast=False),
+    # CCR-based dispatch between the two (the paper's suggested extension).
+    "adaptive": AdaptiveScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Sorted list of registered scheduler names."""
+    return sorted(SCHEDULER_BUILDERS)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by its registry name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        builder = SCHEDULER_BUILDERS[key]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from exc
+    return builder()

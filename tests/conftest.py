@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.coarse import coarse_conjugate_gradient, coarse_pagerank
+from repro.graphs.dag import ComputationalDAG
+from repro.graphs.fine import exp_dag, spmv_dag
+from repro.graphs.random import random_layered_dag
+from repro.model.machine import BspMachine
+
+
+@pytest.fixture
+def diamond_dag() -> ComputationalDAG:
+    """The classic 4-node diamond: 0 -> {1, 2} -> 3."""
+    return ComputationalDAG(
+        4,
+        [(0, 1), (0, 2), (1, 3), (2, 3)],
+        work=[2, 3, 1, 2],
+        comm=[1, 2, 1, 1],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def chain_dag() -> ComputationalDAG:
+    """A 5-node chain 0 -> 1 -> 2 -> 3 -> 4."""
+    return ComputationalDAG(5, [(i, i + 1) for i in range(4)], name="chain")
+
+
+@pytest.fixture
+def fork_join_dag() -> ComputationalDAG:
+    """A fork-join DAG: one source fanning out to 6 parallel nodes and one sink."""
+    edges = [(0, i) for i in range(1, 7)] + [(i, 7) for i in range(1, 7)]
+    return ComputationalDAG(8, edges, work=[1, 2, 2, 2, 2, 2, 2, 1], comm=[3, 1, 1, 1, 1, 1, 1, 1], name="forkjoin")
+
+
+@pytest.fixture
+def layered_dag() -> ComputationalDAG:
+    """A small random layered DAG (deterministic seed)."""
+    return random_layered_dag(5, 6, edge_prob=0.4, seed=7, name="layered-test")
+
+
+@pytest.fixture
+def spmv_small() -> ComputationalDAG:
+    """A small fine-grained spmv DAG (~60 nodes)."""
+    return spmv_dag(8, q=0.3, seed=3)
+
+
+@pytest.fixture
+def exp_small() -> ComputationalDAG:
+    """A small fine-grained iterated-spmv DAG."""
+    return exp_dag(6, k=2, q=0.3, seed=5)
+
+
+@pytest.fixture
+def coarse_cg_small() -> ComputationalDAG:
+    """A small coarse-grained conjugate-gradient DAG."""
+    return coarse_conjugate_gradient(3)
+
+
+@pytest.fixture
+def machine2() -> BspMachine:
+    """Two uniform processors, moderate communication cost."""
+    return BspMachine(P=2, g=2, l=3)
+
+
+@pytest.fixture
+def machine4() -> BspMachine:
+    """Four uniform processors with the paper's default latency."""
+    return BspMachine(P=4, g=3, l=5)
+
+
+@pytest.fixture
+def numa_machine() -> BspMachine:
+    """Eight processors in a binary NUMA hierarchy with delta = 3."""
+    return BspMachine.hierarchical(P=8, delta=3, g=1, l=5)
+
+
+@pytest.fixture
+def all_test_dags(diamond_dag, chain_dag, fork_join_dag, layered_dag, spmv_small, coarse_cg_small):
+    """A battery of structurally different DAGs used by scheduler tests."""
+    return [diamond_dag, chain_dag, fork_join_dag, layered_dag, spmv_small, coarse_cg_small]

@@ -1,0 +1,69 @@
+"""Tests for the CCR-based adaptive scheduler (framework vs multilevel)."""
+
+import pytest
+
+from repro.graphs.dag import ComputationalDAG
+from repro.graphs.fine import exp_dag
+from repro.model.machine import BspMachine
+from repro.pipeline.adaptive import AdaptiveScheduler
+from repro.pipeline.config import MultilevelConfig, PipelineConfig
+
+
+@pytest.fixture
+def adaptive():
+    fast = PipelineConfig.fast()
+    return AdaptiveScheduler(
+        pipeline_config=fast,
+        multilevel_config=MultilevelConfig(
+            coarsening_ratios=(0.3,), min_coarse_nodes=6, hc_moves_per_refinement=10,
+            base_pipeline=fast,
+        ),
+        ccr_threshold=8.0,
+        margin=0.25,
+    )
+
+
+class TestDispatchLogic:
+    def test_low_ccr_uses_base_only(self, adaptive):
+        use_base, use_ml = adaptive._strategies(1.0)
+        assert use_base and not use_ml
+
+    def test_high_ccr_uses_multilevel_only(self, adaptive):
+        use_base, use_ml = adaptive._strategies(100.0)
+        assert use_ml and not use_base
+
+    def test_band_runs_both(self, adaptive):
+        use_base, use_ml = adaptive._strategies(8.0)
+        assert use_base and use_ml
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveScheduler(ccr_threshold=0)
+        with pytest.raises(ValueError):
+            AdaptiveScheduler(margin=-0.1)
+
+
+class TestEndToEnd:
+    def test_cheap_communication_instance(self, adaptive, spmv_small):
+        machine = BspMachine(P=4, g=1, l=2)
+        schedule = adaptive.schedule_checked(spmv_small, machine)
+        decision = adaptive.last_decision
+        assert decision is not None
+        assert decision.used_base and not decision.used_multilevel
+        assert schedule.cost() == pytest.approx(decision.base_cost)
+
+    def test_communication_dominated_instance(self, adaptive):
+        dag = exp_dag(6, k=2, q=0.3, seed=5)
+        machine = BspMachine.hierarchical(P=16, delta=4, g=4, l=5)
+        schedule = adaptive.schedule_checked(dag, machine)
+        decision = adaptive.last_decision
+        assert decision.used_multilevel
+        assert schedule.cost() == pytest.approx(min(
+            c for c in (decision.base_cost, decision.multilevel_cost) if c is not None
+        ))
+
+    def test_tiny_dag_falls_back_to_base(self, adaptive, machine4):
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)], comm=[50, 50, 50])
+        adaptive.schedule_checked(dag, machine4)
+        assert adaptive.last_decision.used_base
+        assert not adaptive.last_decision.used_multilevel

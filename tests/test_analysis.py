@@ -1,0 +1,60 @@
+"""Tests for DAG statistics and the communication-to-computation ratio."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    communication_to_computation_ratio,
+    dag_statistics,
+)
+from repro.graphs.dag import ComputationalDAG
+from repro.model.machine import BspMachine
+
+
+class TestDagStatistics:
+    def test_diamond_statistics(self, diamond_dag):
+        stats = dag_statistics(diamond_dag)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.num_sources == 1
+        assert stats.num_sinks == 1
+        assert stats.depth == 3
+        assert stats.max_width == 2
+        assert stats.total_work == 8
+        assert stats.total_comm == 5
+        assert stats.critical_path_work == 7
+        assert stats.ccr == pytest.approx(5 / 8)
+        assert stats.max_in_degree == 2
+
+    def test_as_dict_round_trip(self, chain_dag):
+        stats = dag_statistics(chain_dag).as_dict()
+        assert stats["n"] == 5
+        assert stats["depth"] == 5
+        assert stats["max_width"] == 1
+
+    def test_empty_dag(self):
+        stats = dag_statistics(ComputationalDAG(0, []))
+        assert stats.num_nodes == 0
+        assert stats.depth == 0
+        assert stats.ccr == 0.0
+
+
+class TestCcr:
+    def test_plain_ratio(self):
+        dag = ComputationalDAG(2, [(0, 1)], work=[2, 2], comm=[4, 4])
+        assert communication_to_computation_ratio(dag) == pytest.approx(2.0)
+
+    def test_machine_scales_ratio(self):
+        dag = ComputationalDAG(2, [(0, 1)], work=[2, 2], comm=[4, 4])
+        machine = BspMachine.hierarchical(P=4, delta=2, g=3, l=0)
+        scaled = communication_to_computation_ratio(dag, machine)
+        plain = communication_to_computation_ratio(dag)
+        assert scaled == pytest.approx(plain * 3 * machine.average_coefficient())
+
+    def test_single_processor_machine_does_not_zero_out(self):
+        dag = ComputationalDAG(2, [(0, 1)], work=[1, 1], comm=[1, 1])
+        machine = BspMachine(P=1, g=2, l=0)
+        assert communication_to_computation_ratio(dag, machine) > 0
+
+    def test_zero_work_dag(self):
+        dag = ComputationalDAG(2, [(0, 1)], work=[0, 0], comm=[1, 1])
+        assert communication_to_computation_ratio(dag) == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.fine import spmv_dag
+from repro.graphs.hyperdag import read_hyperdag, write_hyperdag
+
+
+@pytest.fixture
+def hyperdag_file(tmp_path):
+    path = tmp_path / "example.hdag"
+    write_hyperdag(spmv_dag(6, q=0.3, seed=4), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule", "--kind", "spmv"])
+        assert args.processors == 4 and args.scheduler == "framework"
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--kind", "spmv"])
+
+
+class TestGenerateAndInfo:
+    def test_generate_writes_readable_hyperdag(self, tmp_path, capsys):
+        out = tmp_path / "generated.hdag"
+        code = main(["generate", "--kind", "spmv", "--size", "6", "--seed", "1", "--out", str(out)])
+        assert code == 0
+        dag = read_hyperdag(out)
+        assert dag.n > 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_generate_coarse_kind(self, tmp_path):
+        out = tmp_path / "cg.hdag"
+        assert main(["generate", "--kind", "pagerank", "--iterations", "4", "--out", str(out)]) == 0
+        assert read_hyperdag(out).n > 10
+
+    def test_generate_unknown_kind(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "fft", "--out", str(tmp_path / "x.hdag")])
+
+    def test_info_prints_statistics(self, hyperdag_file, capsys):
+        assert main(["info", str(hyperdag_file)]) == 0
+        out = capsys.readouterr().out
+        assert "depth" in out and "total_work" in out
+
+
+class TestScheduleCommand:
+    def test_schedule_from_file_with_comparison(self, hyperdag_file, capsys, tmp_path):
+        out_csv = tmp_path / "assignment.csv"
+        code = main(
+            [
+                "schedule",
+                str(hyperdag_file),
+                "-P", "2", "-g", "2", "-l", "3",
+                "--scheduler", "hdagg",
+                "--compare", "cilk", "trivial",
+                "--gantt",
+                "--out", str(out_csv),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hdagg schedule" in output
+        assert "comparison" in output and "cilk" in output
+        lines = out_csv.read_text().strip().splitlines()
+        assert lines[0] == "node,processor,superstep"
+        assert len(lines) == read_hyperdag(hyperdag_file).n + 1
+
+    def test_schedule_generated_numa_instance(self, capsys):
+        code = main(
+            [
+                "schedule",
+                "--kind", "cg", "--size", "5", "--iterations", "1",
+                "-P", "4", "--delta", "2",
+                "--scheduler", "source",
+            ]
+        )
+        assert code == 0
+        assert "total cost" in capsys.readouterr().out
+
+    def test_schedule_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "-P", "2"])
+
+    def test_unknown_scheduler_rejected(self, hyperdag_file):
+        with pytest.raises(ValueError):
+            main(["schedule", str(hyperdag_file), "--scheduler", "magic"])

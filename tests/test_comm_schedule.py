@@ -1,0 +1,71 @@
+"""Unit tests for the CommSchedule container."""
+
+import pytest
+
+from repro.model.comm import CommSchedule
+
+
+class TestCommSchedule:
+    def test_add_and_contains(self):
+        comm = CommSchedule()
+        comm.add(3, 0, 1, 2)
+        assert (3, 0, 1, 2) in comm
+        assert len(comm) == 1
+
+    def test_add_is_idempotent(self):
+        comm = CommSchedule()
+        comm.add(1, 0, 1, 0)
+        comm.add(1, 0, 1, 0)
+        assert len(comm) == 1
+
+    def test_remove_and_discard(self):
+        comm = CommSchedule()
+        comm.add(1, 0, 1, 0)
+        comm.remove(1, 0, 1, 0)
+        assert len(comm) == 0
+        with pytest.raises(KeyError):
+            comm.remove(1, 0, 1, 0)
+        comm.discard(1, 0, 1, 0)  # no error
+
+    def test_max_step(self):
+        comm = CommSchedule()
+        assert comm.max_step() == -1
+        comm.add(0, 0, 1, 4)
+        comm.add(1, 1, 0, 2)
+        assert comm.max_step() == 4
+
+    def test_by_step_groups_entries(self):
+        comm = CommSchedule()
+        comm.add(0, 0, 1, 1)
+        comm.add(2, 1, 0, 1)
+        comm.add(1, 0, 1, 3)
+        grouped = comm.by_step()
+        assert set(grouped) == {1, 3}
+        assert len(grouped[1]) == 2
+
+    def test_entries_for_node_and_targets(self):
+        comm = CommSchedule()
+        comm.add(5, 0, 1, 0)
+        comm.add(5, 0, 2, 1)
+        comm.add(6, 1, 0, 0)
+        assert len(comm.entries_for_node(5)) == 2
+        assert comm.targets_of(5) == {1, 2}
+
+    def test_copy_is_independent(self):
+        comm = CommSchedule()
+        comm.add(0, 0, 1, 0)
+        clone = comm.copy()
+        clone.add(1, 0, 1, 0)
+        assert len(comm) == 1 and len(clone) == 2
+
+    def test_equality(self):
+        a = CommSchedule({(0, 0, 1, 0)})
+        b = CommSchedule()
+        b.add(0, 0, 1, 0)
+        assert a == b
+        b.add(1, 0, 1, 0)
+        assert a != b
+
+    def test_initial_entries_are_normalized_to_int_tuples(self):
+        comm = CommSchedule({(0.0, 1.0, 2.0, 3.0)})
+        assert (0, 1, 2, 3) in comm

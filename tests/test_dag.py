@@ -1,0 +1,224 @@
+"""Unit tests for the ComputationalDAG data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dag import ComputationalDAG, DagValidationError
+
+
+class TestConstruction:
+    def test_basic_properties(self, diamond_dag):
+        assert diamond_dag.n == 4
+        assert diamond_dag.num_edges == 4
+        assert diamond_dag.total_work() == 8
+        assert diamond_dag.total_comm() == 5
+        assert len(diamond_dag) == 4
+
+    def test_default_weights_are_one(self):
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)])
+        assert list(dag.work) == [1, 1, 1]
+        assert list(dag.comm) == [1, 1, 1]
+
+    def test_duplicate_edges_are_deduplicated(self):
+        dag = ComputationalDAG(2, [(0, 1), (0, 1), (0, 1)])
+        assert dag.num_edges == 1
+
+    def test_empty_dag(self):
+        dag = ComputationalDAG(0, [])
+        assert dag.n == 0
+        assert dag.depth() == 0
+        assert dag.topological_order() == []
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(2, [(0, 0)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(2, [(0, 5)])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(2, [(0, 1)], work=[-1, 1])
+
+    def test_rejects_wrong_weight_length(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(3, [(0, 1)], work=[1, 1])
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(-1, [])
+
+
+class TestAdjacency:
+    def test_children_and_parents(self, diamond_dag):
+        assert sorted(diamond_dag.children(0)) == [1, 2]
+        assert sorted(diamond_dag.parents(3)) == [1, 2]
+        assert diamond_dag.parents(0) == []
+        assert diamond_dag.children(3) == []
+
+    def test_degrees(self, diamond_dag):
+        assert diamond_dag.out_degree(0) == 2
+        assert diamond_dag.in_degree(3) == 2
+        assert diamond_dag.in_degree(0) == 0
+
+    def test_sources_and_sinks(self, diamond_dag, fork_join_dag):
+        assert diamond_dag.sources() == [0]
+        assert diamond_dag.sinks() == [3]
+        assert fork_join_dag.sources() == [0]
+        assert fork_join_dag.sinks() == [7]
+
+    def test_has_edge(self, diamond_dag):
+        assert diamond_dag.has_edge(0, 1)
+        assert not diamond_dag.has_edge(1, 0)
+        assert not diamond_dag.has_edge(0, 3)
+
+
+class TestOrderings:
+    def test_topological_order_respects_edges(self, layered_dag):
+        order = layered_dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        assert sorted(order) == list(range(layered_dag.n))
+        for (u, v) in layered_dag.edges:
+            assert pos[u] < pos[v]
+
+    def test_levels_of_chain(self, chain_dag):
+        assert list(chain_dag.node_levels()) == [0, 1, 2, 3, 4]
+        assert chain_dag.depth() == 5
+
+    def test_level_sets_partition_nodes(self, layered_dag):
+        sets = layered_dag.level_sets()
+        flat = [v for s in sets for v in s]
+        assert sorted(flat) == list(range(layered_dag.n))
+
+    def test_bottom_level_diamond(self, diamond_dag):
+        # bottom level = max work on a path starting at the node (incl. itself)
+        bl = diamond_dag.bottom_level()
+        assert bl[3] == 2
+        assert bl[1] == 3 + 2
+        assert bl[2] == 1 + 2
+        assert bl[0] == 2 + 3 + 2
+
+    def test_top_level_diamond(self, diamond_dag):
+        tl = diamond_dag.top_level()
+        assert tl[0] == 0
+        assert tl[1] == 2
+        assert tl[3] == 2 + 3
+
+    def test_critical_path_work(self, diamond_dag, chain_dag):
+        assert diamond_dag.critical_path_work() == 7
+        assert chain_dag.critical_path_work() == 5
+
+
+class TestReachability:
+    def test_ancestors_descendants(self, diamond_dag):
+        assert diamond_dag.ancestors(3) == {0, 1, 2}
+        assert diamond_dag.descendants(0) == {1, 2, 3}
+        assert diamond_dag.ancestors(0) == set()
+        assert diamond_dag.descendants(3) == set()
+
+    def test_has_path(self, diamond_dag):
+        assert diamond_dag.has_path(0, 3)
+        assert not diamond_dag.has_path(3, 0)
+        assert not diamond_dag.has_path(1, 2)
+        assert diamond_dag.has_path(1, 1)
+
+    def test_has_path_skip_direct_edge(self):
+        # 0 -> 1 with an alternative path 0 -> 2 -> 1
+        dag = ComputationalDAG(3, [(0, 1), (0, 2), (2, 1)])
+        assert dag.has_path(0, 1, skip_direct_edge=True)
+        dag2 = ComputationalDAG(2, [(0, 1)])
+        assert not dag2.has_path(0, 1, skip_direct_edge=True)
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self, diamond_dag):
+        sub, mapping = diamond_dag.subgraph([0, 1, 3])
+        assert sub.n == 3
+        assert (mapping[0], mapping[1]) in [tuple(e) for e in sub.edges]
+        assert (mapping[1], mapping[3]) in [tuple(e) for e in sub.edges]
+        # Edge through removed node 2 must not appear.
+        assert sub.num_edges == 2
+        assert sub.work[mapping[1]] == diamond_dag.work[1]
+
+    def test_largest_weakly_connected_component(self):
+        # Two components: a 3-chain and an isolated pair.
+        dag = ComputationalDAG(5, [(0, 1), (1, 2), (3, 4)])
+        comp, mapping = dag.largest_weakly_connected_component()
+        assert comp.n == 3
+        assert set(mapping) == {0, 1, 2}
+
+    def test_weakly_connected_components(self):
+        dag = ComputationalDAG(5, [(0, 1), (3, 4)])
+        comps = dag.weakly_connected_components()
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2, 2]
+
+    def test_reversed_dag(self, diamond_dag):
+        rev = diamond_dag.reversed_dag()
+        assert rev.has_edge(1, 0)
+        assert rev.has_edge(3, 2)
+        assert rev.n == diamond_dag.n
+        assert list(rev.work) == list(diamond_dag.work)
+
+    def test_relabeled_roundtrip(self, diamond_dag):
+        order = [3, 2, 1, 0]
+        relabeled = diamond_dag.relabeled(order)
+        assert relabeled.n == diamond_dag.n
+        assert relabeled.num_edges == diamond_dag.num_edges
+        # Node 3 of the original becomes node 0; it had work 2.
+        assert relabeled.work[0] == diamond_dag.work[3]
+
+    def test_relabeled_rejects_non_permutation(self, diamond_dag):
+        with pytest.raises(DagValidationError):
+            diamond_dag.relabeled([0, 0, 1, 2])
+
+    def test_networkx_roundtrip(self, diamond_dag):
+        g = diamond_dag.to_networkx()
+        back = ComputationalDAG.from_networkx(g)
+        assert back == diamond_dag
+
+
+class TestContraction:
+    def test_contract_edge_merges_weights(self, diamond_dag):
+        contracted, mapping = diamond_dag.contract_edge(0, 1)
+        assert contracted.n == 3
+        merged = mapping[0]
+        assert mapping[1] == merged
+        assert contracted.work[merged] == diamond_dag.work[0] + diamond_dag.work[1]
+        assert contracted.comm[merged] == diamond_dag.comm[0] + diamond_dag.comm[1]
+
+    def test_contract_edge_requires_edge(self, diamond_dag):
+        with pytest.raises(DagValidationError):
+            diamond_dag.contract_edge(1, 2)
+
+    def test_is_edge_contractable(self):
+        # 0 -> 1 plus path 0 -> 2 -> 1: contracting (0, 1) would create a cycle.
+        dag = ComputationalDAG(3, [(0, 1), (0, 2), (2, 1)])
+        assert not dag.is_edge_contractable(0, 1)
+        assert dag.is_edge_contractable(0, 2)
+        assert dag.is_edge_contractable(2, 1)
+
+    def test_contraction_keeps_dag_acyclic(self, layered_dag):
+        dag = layered_dag
+        for (u, v) in list(dag.edges):
+            if dag.is_edge_contractable(u, v):
+                contracted, _ = dag.contract_edge(u, v)
+                # Constructor validates acyclicity; reaching here is the assertion.
+                assert contracted.n == dag.n - 1
+                break
+        else:
+            pytest.fail("no contractable edge found in the layered DAG")
+
+
+class TestEquality:
+    def test_equality_and_inequality(self, diamond_dag):
+        clone = ComputationalDAG(4, list(diamond_dag.edges), diamond_dag.work, diamond_dag.comm)
+        assert clone == diamond_dag
+        other = ComputationalDAG(4, list(diamond_dag.edges), [1, 1, 1, 1], diamond_dag.comm)
+        assert other != diamond_dag
+        assert diamond_dag != "not a dag"

@@ -1,0 +1,51 @@
+"""Tests for the Graphviz DOT export of DAGs and schedules."""
+
+import pytest
+
+from repro.baselines.hdagg import HDaggScheduler
+from repro.graphs.dot import dag_to_dot, schedule_to_dot
+
+
+class TestDagToDot:
+    def test_contains_all_nodes_and_edges(self, diamond_dag):
+        dot = dag_to_dot(diamond_dag)
+        assert dot.startswith('digraph "diamond"')
+        for v in diamond_dag.nodes():
+            assert f"{v} [label=" in dot
+        for (u, v) in diamond_dag.edges:
+            assert f"{u} -> {v};" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_weights_in_labels(self, diamond_dag):
+        dot = dag_to_dot(diamond_dag, show_weights=True)
+        assert "w=2" in dot and "c=2" in dot
+        plain = dag_to_dot(diamond_dag, show_weights=False)
+        assert "w=" not in plain
+
+    def test_custom_graph_name(self, chain_dag):
+        assert 'digraph "my-dag"' in dag_to_dot(chain_dag, graph_name="my-dag")
+
+
+class TestScheduleToDot:
+    def test_clusters_per_superstep_and_processor_colors(self, layered_dag, machine4):
+        sched = HDaggScheduler().schedule(layered_dag, machine4)
+        dot = schedule_to_dot(sched)
+        for s in range(sched.num_supersteps):
+            if sched.nodes_in_superstep(s):
+                assert f"cluster_step_{s}" in dot
+        assert "fillcolor=" in dot
+        # Every node appears exactly once as a declaration.
+        for v in layered_dag.nodes():
+            assert dot.count(f"    {v} [label=") == 1
+
+    def test_cross_processor_edges_are_dashed(self, machine2):
+        import numpy as np
+
+        from repro.graphs.dag import ComputationalDAG
+        from repro.model.schedule import BspSchedule
+
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)])
+        sched = BspSchedule(dag, machine2, np.array([0, 0, 1]), np.array([0, 0, 1]))
+        dot = schedule_to_dot(sched)
+        assert "0 -> 1 [style=solid];" in dot
+        assert "1 -> 2 [style=dashed];" in dot

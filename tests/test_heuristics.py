@@ -1,0 +1,114 @@
+"""Unit tests for the initialization heuristics BSPg and Source."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cilk import CilkScheduler
+from repro.graphs.dag import ComputationalDAG
+from repro.heuristics.bspg import BspGreedyScheduler
+from repro.heuristics.source import SourceScheduler
+from repro.model.machine import BspMachine
+
+HEURISTICS = [BspGreedyScheduler(), SourceScheduler()]
+
+
+class TestHeuristicValidity:
+    @pytest.mark.parametrize("scheduler", HEURISTICS, ids=lambda s: s.name)
+    def test_valid_on_battery(self, scheduler, all_test_dags, machine4):
+        for dag in all_test_dags:
+            scheduler.schedule_checked(dag, machine4)
+
+    @pytest.mark.parametrize("scheduler", HEURISTICS, ids=lambda s: s.name)
+    def test_valid_with_numa(self, scheduler, spmv_small, numa_machine):
+        scheduler.schedule_checked(spmv_small, numa_machine)
+
+    @pytest.mark.parametrize("scheduler", HEURISTICS, ids=lambda s: s.name)
+    def test_single_processor(self, scheduler, layered_dag):
+        machine = BspMachine(P=1, g=1, l=1)
+        sched = scheduler.schedule_checked(layered_dag, machine)
+        assert set(sched.proc.tolist()) == {0}
+
+    @pytest.mark.parametrize("scheduler", HEURISTICS, ids=lambda s: s.name)
+    def test_empty_dag(self, scheduler, machine2):
+        dag = ComputationalDAG(0, [])
+        sched = scheduler.schedule(dag, machine2)
+        assert sched.is_valid()
+
+    @pytest.mark.parametrize("scheduler", HEURISTICS, ids=lambda s: s.name)
+    def test_every_node_assigned_exactly_once(self, scheduler, exp_small, machine4):
+        sched = scheduler.schedule(exp_small, machine4)
+        assert np.all(sched.proc >= 0) and np.all(sched.proc < machine4.P)
+        assert np.all(sched.step >= 0)
+
+
+class TestBspGreedy:
+    def test_parallelizes_independent_work(self, machine4):
+        dag = ComputationalDAG(8, [], work=[3] * 8)
+        sched = BspGreedyScheduler().schedule_checked(dag, machine4)
+        # Work should be spread: one superstep, max per-processor work 6.
+        assert sched.cost_breakdown().work_cost <= 6 + 1e-9
+        assert sched.num_supersteps == 1
+
+    def test_keeps_chain_on_one_processor(self, chain_dag, machine4):
+        sched = BspGreedyScheduler().schedule_checked(chain_dag, machine4)
+        # A chain can never use more than one processor without paying
+        # communication; BSPg keeps it local (it may still split supersteps —
+        # per the paper's Algorithm 1 the phase closes once half the
+        # processors are idle — but it must never communicate).
+        assert len(set(sched.proc.tolist())) == 1
+        assert sched.cost_breakdown().comm_cost == 0.0
+        # The subsequent hill-climbing stage compacts superfluous supersteps
+        # (it may stop on a plateau, but it must strictly reduce the latency
+        # overhead of the one-node-per-superstep schedule).
+        from repro.localsearch.hill_climbing import hill_climb
+
+        improved = hill_climb(sched).schedule
+        assert improved.cost() < sched.cost()
+        assert improved.num_supersteps < sched.num_supersteps
+
+    def test_idle_fraction_validation(self):
+        with pytest.raises(ValueError):
+            BspGreedyScheduler(idle_fraction=0.0)
+        with pytest.raises(ValueError):
+            BspGreedyScheduler(idle_fraction=1.5)
+
+    def test_competitive_with_cilk_under_communication(self, exp_small):
+        machine = BspMachine(P=4, g=5, l=5)
+        bspg_cost = BspGreedyScheduler().schedule(exp_small, machine).cost()
+        cilk_cost = CilkScheduler(seed=0).schedule(exp_small, machine).cost()
+        assert bspg_cost <= cilk_cost
+
+
+class TestSource:
+    def test_one_superstep_per_layer_at_most(self, machine4):
+        # A 3-level DAG: Source uses at most ~depth supersteps (successor
+        # pulling can only reduce the count).
+        dag = ComputationalDAG(9, [(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (5, 8)])
+        sched = SourceScheduler().schedule_checked(dag, machine4)
+        assert sched.num_supersteps <= 3
+
+    def test_initial_clustering_groups_siblings(self, machine4):
+        # Two sources sharing a successor should land on the same processor.
+        dag = ComputationalDAG(3, [(0, 2), (1, 2)])
+        sched = SourceScheduler().schedule_checked(dag, machine4)
+        assert sched.proc[0] == sched.proc[1]
+
+    def test_pulls_in_single_parent_successors(self, machine4):
+        # 0 -> 1 -> 2 chain: everything can be pulled into superstep 0.
+        dag = ComputationalDAG(2, [(0, 1)])
+        sched = SourceScheduler().schedule_checked(dag, machine4)
+        assert sched.num_supersteps == 1
+
+    def test_round_robin_balances_sources(self, machine4):
+        dag = ComputationalDAG(8, [], work=[5, 4, 3, 2, 5, 4, 3, 2])
+        sched = SourceScheduler().schedule_checked(dag, machine4)
+        assert len(set(sched.proc.tolist())) == machine4.P
+
+    def test_good_on_shallow_spmv(self, spmv_small, machine4):
+        """The paper observes that Source is particularly effective on the
+        shallow spmv DAGs; at least it must beat the trivial sequential cost."""
+        from repro.baselines.trivial import TrivialScheduler
+
+        source_cost = SourceScheduler().schedule(spmv_small, machine4).cost()
+        trivial_cost = TrivialScheduler().schedule(spmv_small, machine4).cost()
+        assert source_cost < trivial_cost

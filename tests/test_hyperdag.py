@@ -1,0 +1,86 @@
+"""Tests for the hyperDAG file format and DAG <-> hyperDAG conversion."""
+
+import pytest
+
+from repro.graphs.dag import ComputationalDAG, DagValidationError
+from repro.graphs.fine import spmv_dag
+from repro.graphs.hyperdag import (
+    dag_to_hyperdag,
+    dumps_hyperdag,
+    hyperdag_to_dag,
+    loads_hyperdag,
+    read_hyperdag,
+    write_hyperdag,
+)
+
+
+class TestConversion:
+    def test_one_hyperedge_per_non_sink(self, diamond_dag):
+        hyperedges = dag_to_hyperdag(diamond_dag)
+        non_sinks = [v for v in diamond_dag.nodes() if diamond_dag.out_degree(v) > 0]
+        assert len(hyperedges) == len(non_sinks)
+        for he in hyperedges:
+            src = he[0]
+            assert sorted(he[1:]) == sorted(diamond_dag.children(src))
+
+    def test_hyperdag_to_dag_round_trip(self, diamond_dag):
+        hyperedges = dag_to_hyperdag(diamond_dag)
+        back = hyperdag_to_dag(diamond_dag.n, hyperedges, diamond_dag.work, diamond_dag.comm)
+        assert back == diamond_dag
+
+    def test_empty_hyperedges_skipped(self):
+        dag = hyperdag_to_dag(3, [[], [0, 1], [1, 2]])
+        assert dag.num_edges == 2
+
+
+class TestTextFormat:
+    def test_round_trip_diamond(self, diamond_dag):
+        text = dumps_hyperdag(diamond_dag, comment="diamond example")
+        back = loads_hyperdag(text)
+        assert back == diamond_dag
+
+    def test_round_trip_generated_dag(self):
+        dag = spmv_dag(7, q=0.3, seed=6)
+        assert loads_hyperdag(dumps_hyperdag(dag)) == dag
+
+    def test_comments_are_ignored(self, diamond_dag):
+        text = "% a comment\n%% another\n" + dumps_hyperdag(diamond_dag)
+        assert loads_hyperdag(text) == diamond_dag
+
+    def test_file_round_trip(self, tmp_path, diamond_dag):
+        path = tmp_path / "diamond.hdag"
+        write_hyperdag(diamond_dag, path)
+        back = read_hyperdag(path)
+        assert back == diamond_dag
+        assert back.name == "diamond"  # name taken from the file stem
+
+    def test_isolated_nodes_survive_round_trip(self):
+        dag = ComputationalDAG(4, [(0, 1)], work=[1, 2, 3, 4], comm=[4, 3, 2, 1])
+        back = loads_hyperdag(dumps_hyperdag(dag))
+        assert back == dag
+
+
+class TestErrorHandling:
+    def test_empty_file_rejected(self):
+        with pytest.raises(DagValidationError):
+            loads_hyperdag("% only comments\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(DagValidationError):
+            loads_hyperdag("1 2\n0 0\n")
+
+    def test_truncated_file_rejected(self, diamond_dag):
+        text = dumps_hyperdag(diamond_dag)
+        truncated = "\n".join(text.splitlines()[:-3])
+        with pytest.raises(DagValidationError):
+            loads_hyperdag(truncated)
+
+    def test_out_of_range_pin_rejected(self):
+        text = "1 2 2\n5 0\n0 1\n0 1 1\n1 1 1\n"
+        with pytest.raises(DagValidationError):
+            loads_hyperdag(text)
+
+    def test_malformed_weight_line_rejected(self):
+        text = "1 2 2\n0 0\n0 1\n0 1\n1 1 1\n"
+        with pytest.raises(DagValidationError):
+            loads_hyperdag(text)

@@ -1,0 +1,97 @@
+"""Tests for the MILP solver backends (HiGHS and branch-and-bound)."""
+
+import pytest
+
+from repro.ilp.bnb import solve_branch_and_bound
+from repro.ilp.model import IlpModel
+from repro.ilp.solver import SolverStatus, solve, solve_with_highs
+
+
+def knapsack_model():
+    """max 5x + 4y + 3z s.t. 2x + 3y + z <= 5 over binaries -> optimum 9 (x=y=1)."""
+    m = IlpModel("knapsack")
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    z = m.add_binary("z")
+    m.add_le({x: 2.0, y: 3.0, z: 1.0}, 5.0)
+    # Minimization form: negate the profits.
+    m.set_objective({x: -5.0, y: -4.0, z: -3.0})
+    return m, (x, y, z)
+
+
+def infeasible_model():
+    m = IlpModel("infeasible")
+    x = m.add_binary("x")
+    m.add_ge({x: 1.0}, 2.0)
+    return m
+
+
+def fractional_lp_model():
+    """A model whose LP relaxation is fractional, forcing actual branching."""
+    m = IlpModel("frac")
+    x = m.add_variable("x", 0, 10, integer=True)
+    y = m.add_variable("y", 0, 10, integer=True)
+    m.add_le({x: 2.0, y: 2.0}, 7.0)
+    m.set_objective({x: -1.0, y: -1.0})
+    return m
+
+
+class TestHighsBackend:
+    def test_knapsack_optimum(self):
+        model, (x, y, z) = knapsack_model()
+        result = solve_with_highs(model)
+        assert result.status == SolverStatus.OPTIMAL
+        assert result.objective == pytest.approx(-9.0)
+        # The selected items must satisfy the capacity and reach profit 9.
+        profit = 5 * result.value(x) + 4 * result.value(y) + 3 * result.value(z)
+        weight = 2 * result.value(x) + 3 * result.value(y) + 1 * result.value(z)
+        assert profit == pytest.approx(9.0)
+        assert weight <= 5.0 + 1e-9
+
+    def test_infeasible_detected(self):
+        result = solve_with_highs(infeasible_model())
+        assert result.status == SolverStatus.INFEASIBLE
+        assert not result.has_solution
+        with pytest.raises(ValueError):
+            result.value(0)
+
+    def test_objective_constant_included(self):
+        model, _ = knapsack_model()
+        model.objective_constant = 100.0
+        result = solve_with_highs(model)
+        assert result.objective == pytest.approx(91.0)
+
+
+class TestBranchAndBoundBackend:
+    def test_matches_highs_on_knapsack(self):
+        model, _ = knapsack_model()
+        bnb = solve_branch_and_bound(model)
+        highs = solve_with_highs(model)
+        assert bnb.status in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE)
+        assert bnb.objective == pytest.approx(highs.objective)
+
+    def test_branches_on_fractional_relaxation(self):
+        result = solve_branch_and_bound(fractional_lp_model())
+        assert result.has_solution
+        # Integer optimum: x + y = 3 (e.g. 3.5 rounded down).
+        assert result.objective == pytest.approx(-3.0)
+
+    def test_infeasible(self):
+        result = solve_branch_and_bound(infeasible_model())
+        assert result.status == SolverStatus.INFEASIBLE
+
+    def test_respects_node_limit(self):
+        result = solve_branch_and_bound(fractional_lp_model(), max_nodes=0)
+        assert result.status in (SolverStatus.NO_SOLUTION, SolverStatus.FEASIBLE, SolverStatus.OPTIMAL)
+
+
+class TestDispatcher:
+    def test_backend_selection(self):
+        model, _ = knapsack_model()
+        assert solve(model, backend="highs").objective == pytest.approx(-9.0)
+        assert solve(model, backend="bnb").objective == pytest.approx(-9.0)
+
+    def test_unknown_backend_rejected(self):
+        model, _ = knapsack_model()
+        with pytest.raises(ValueError):
+            solve(model, backend="gurobi")

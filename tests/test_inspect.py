@@ -1,0 +1,74 @@
+"""Tests for the schedule inspection helpers (summaries, description, Gantt)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hdagg import HDaggScheduler
+from repro.graphs.dag import ComputationalDAG
+from repro.model.inspect import (
+    describe_schedule,
+    schedule_to_text_gantt,
+    summarize_supersteps,
+)
+from repro.model.machine import BspMachine
+from repro.model.schedule import BspSchedule
+
+
+@pytest.fixture
+def two_step_schedule():
+    dag = ComputationalDAG(3, [(0, 2), (1, 2)], work=[2, 3, 4], comm=[2, 1, 1])
+    machine = BspMachine(P=2, g=3, l=5)
+    return BspSchedule(dag, machine, np.array([0, 1, 1]), np.array([0, 0, 1]))
+
+
+class TestSummaries:
+    def test_superstep_summaries(self, two_step_schedule):
+        summaries = summarize_supersteps(two_step_schedule)
+        assert len(summaries) == 2
+        first, second = summaries
+        assert first.work_per_processor == {0: 2.0, 1: 3.0}
+        assert first.work_cost == 3.0
+        assert first.comm_cost == 2.0
+        assert first.num_transfers == 1
+        assert first.busiest_processor == 1
+        assert second.nodes_per_processor == {1: 1}
+        assert second.num_transfers == 0
+
+    def test_summary_counts_match_dag(self, layered_dag, machine4):
+        sched = HDaggScheduler().schedule(layered_dag, machine4)
+        summaries = summarize_supersteps(sched)
+        total_nodes = sum(sum(s.nodes_per_processor.values()) for s in summaries)
+        assert total_nodes == layered_dag.n
+
+
+class TestDescription:
+    def test_describe_contains_cost_and_supersteps(self, two_step_schedule):
+        text = describe_schedule(two_step_schedule, name="demo")
+        assert "demo" in text
+        assert "superstep 0" in text and "superstep 1" in text
+        assert "total cost" in text
+        # Total must match the cost function.
+        assert f"{two_step_schedule.cost():.1f}" in text
+
+    def test_describe_skips_empty_supersteps(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)])
+        sched = BspSchedule(dag, machine2, np.array([0, 0]), np.array([0, 4]))
+        text = describe_schedule(sched)
+        assert "superstep 2" not in text  # empty supersteps are not listed
+
+
+class TestGantt:
+    def test_gantt_has_one_row_per_processor(self, two_step_schedule):
+        text = schedule_to_text_gantt(two_step_schedule)
+        lines = text.splitlines()
+        assert len(lines) == 1 + two_step_schedule.machine.P
+        assert lines[1].startswith("p0")
+
+    def test_bottleneck_processor_marked(self, two_step_schedule):
+        text = schedule_to_text_gantt(two_step_schedule)
+        p1_row = [l for l in text.splitlines() if l.startswith("p1")][0]
+        assert "#" in p1_row  # p1 carries the maximum work in both supersteps
+
+    def test_empty_schedule(self, machine2):
+        dag = ComputationalDAG(0, [])
+        assert "empty" in schedule_to_text_gantt(BspSchedule.trivial(dag, machine2))

@@ -1,0 +1,70 @@
+"""Tests for JSON persistence of schedules and experiment results."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hdagg import HDaggScheduler
+from repro.experiments.persistence import (
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment,
+    save_experiment,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.experiments.runner import run_experiment
+from repro.graphs.fine import spmv_dag
+from repro.localsearch.comm_hill_climbing import comm_hill_climb
+from repro.model.machine import BspMachine
+from repro.pipeline.config import PipelineConfig
+
+
+class TestSchedulePersistence:
+    def test_round_trip_lazy_schedule(self, layered_dag, machine4):
+        sched = HDaggScheduler().schedule(layered_dag, machine4)
+        restored = schedule_from_dict(schedule_to_dict(sched))
+        assert restored.dag == sched.dag
+        assert np.array_equal(restored.proc, sched.proc)
+        assert np.array_equal(restored.step, sched.step)
+        assert restored.comm is None
+        assert restored.cost() == pytest.approx(sched.cost())
+
+    def test_round_trip_explicit_comm_schedule(self, layered_dag, machine4):
+        sched = comm_hill_climb(HDaggScheduler().schedule(layered_dag, machine4)).schedule
+        restored = schedule_from_dict(schedule_to_dict(sched))
+        assert restored.comm == sched.comm
+        assert restored.cost() == pytest.approx(sched.cost())
+
+    def test_round_trip_numa_machine(self, diamond_dag, numa_machine):
+        sched = HDaggScheduler().schedule(diamond_dag, numa_machine)
+        restored = schedule_from_dict(schedule_to_dict(sched))
+        assert np.array_equal(restored.machine.numa, numa_machine.numa)
+        assert restored.cost() == pytest.approx(sched.cost())
+
+    def test_dict_is_json_serializable(self, diamond_dag, machine2):
+        import json
+
+        sched = HDaggScheduler().schedule(diamond_dag, machine2)
+        json.dumps(schedule_to_dict(sched))  # must not raise
+
+
+class TestExperimentPersistence:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        dags = [spmv_dag(5, q=0.3, seed=1)]
+        machine = BspMachine(P=2, g=2, l=3)
+        return run_experiment(dags, machine, pipeline_config=PipelineConfig.fast())
+
+    def test_round_trip_preserves_aggregates(self, experiment):
+        restored = experiment_from_dict(experiment_to_dict(experiment))
+        assert len(restored.instances) == len(experiment.instances)
+        assert restored.mean_ratio("ILP", "Cilk") == pytest.approx(
+            experiment.mean_ratio("ILP", "Cilk")
+        )
+        assert restored.instances[0].best_initializer == experiment.instances[0].best_initializer
+
+    def test_file_round_trip(self, experiment, tmp_path):
+        path = tmp_path / "experiment.json"
+        save_experiment(experiment, path)
+        restored = load_experiment(path)
+        assert restored.labels() == experiment.labels()

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These tests generate random DAGs, machines and schedules and check the
+invariants every component of the framework relies on:
+
+* every scheduler produces a valid BSP schedule on any DAG/machine,
+* schedule costs respect the trivial lower bounds of the model,
+* the incremental local-search cost always matches the exact cost function,
+* hill climbing is monotone,
+* coarsening preserves acyclicity and total weights,
+* the hyperDAG text format round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cilk import CilkScheduler
+from repro.baselines.hdagg import HDaggScheduler
+from repro.baselines.list_schedulers import BlEstScheduler, EtfScheduler
+from repro.baselines.trivial import LevelRoundRobinScheduler
+from repro.graphs.dag import ComputationalDAG
+from repro.graphs.hyperdag import dumps_hyperdag, loads_hyperdag
+from repro.heuristics.bspg import BspGreedyScheduler
+from repro.heuristics.source import SourceScheduler
+from repro.localsearch.hill_climbing import hill_climb
+from repro.localsearch.state import LocalSearchState
+from repro.model.machine import BspMachine
+from repro.model.schedule import BspSchedule, legalize_superstep_assignment
+from repro.multilevel.coarsen import coarsen_dag
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_dags(draw, max_nodes: int = 18):
+    """Random DAG with edges oriented along the node order."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        # Each node picks a random subset of earlier nodes as parents.
+        num_parents = draw(st.integers(min_value=0, max_value=min(3, v)))
+        parents = draw(
+            st.lists(st.integers(min_value=0, max_value=v - 1), min_size=num_parents,
+                     max_size=num_parents, unique=True)
+        )
+        edges.extend((u, v) for u in parents)
+    work = draw(st.lists(st.integers(min_value=1, max_value=5), min_size=n, max_size=n))
+    comm = draw(st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n))
+    return ComputationalDAG(n, edges, work, comm, name="hypothesis")
+
+
+@st.composite
+def machines(draw):
+    P = draw(st.sampled_from([1, 2, 4, 8]))
+    g = draw(st.sampled_from([0.0, 1.0, 3.0, 5.0]))
+    latency = draw(st.sampled_from([0.0, 1.0, 5.0]))
+    use_numa = draw(st.booleans())
+    if use_numa and P >= 2:
+        delta = draw(st.sampled_from([2.0, 3.0]))
+        return BspMachine.hierarchical(P=P, delta=delta, g=g, l=latency)
+    return BspMachine(P=P, g=g, l=latency)
+
+
+SCHEDULERS = [
+    CilkScheduler(seed=0),
+    BlEstScheduler(),
+    EtfScheduler(),
+    HDaggScheduler(),
+    BspGreedyScheduler(),
+    SourceScheduler(),
+    LevelRoundRobinScheduler(),
+]
+
+
+# ----------------------------------------------------------------------
+# Scheduler validity and cost lower bounds
+# ----------------------------------------------------------------------
+class TestSchedulerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags(), machine=machines())
+    def test_all_schedulers_produce_valid_schedules(self, dag, machine):
+        for scheduler in SCHEDULERS:
+            sched = scheduler.schedule(dag, machine)
+            assert sched.is_valid(), f"{scheduler.name} invalid on n={dag.n}, P={machine.P}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags(), machine=machines())
+    def test_cost_respects_lower_bounds(self, dag, machine):
+        """Any valid schedule costs at least the critical-path work, at least
+        the average work per processor, and at least one latency charge."""
+        for scheduler in (HDaggScheduler(), BspGreedyScheduler()):
+            cost = scheduler.schedule(dag, machine).cost()
+            assert cost + 1e-9 >= dag.critical_path_work()
+            assert cost + 1e-9 >= dag.total_work() / machine.P
+            if dag.n > 0:
+                assert cost + 1e-9 >= machine.l
+
+    @settings(max_examples=20, deadline=None)
+    @given(dag=random_dags(), machine=machines())
+    def test_lazy_comm_matches_implicit_cost(self, dag, machine):
+        sched = BspGreedyScheduler().schedule(dag, machine)
+        explicit = sched.with_lazy_comm()
+        assert explicit.cost() == pytest.approx(sched.cost())
+
+
+# ----------------------------------------------------------------------
+# Local search invariants
+# ----------------------------------------------------------------------
+class TestLocalSearchProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(dag=random_dags(max_nodes=14), machine=machines(), data=st.data())
+    def test_incremental_cost_matches_exact(self, dag, machine, data):
+        state = LocalSearchState(LevelRoundRobinScheduler().schedule(dag, machine))
+        for _ in range(15):
+            v = data.draw(st.integers(min_value=0, max_value=dag.n - 1))
+            moves = state.candidate_moves(v)
+            if not moves:
+                continue
+            _, p, s = moves[data.draw(st.integers(min_value=0, max_value=len(moves) - 1))]
+            state.apply_move(v, p, s)
+        assert state.total_cost == pytest.approx(state.recompute_cost())
+        assert state.to_schedule().is_valid()
+
+    @settings(max_examples=20, deadline=None)
+    @given(dag=random_dags(max_nodes=14), machine=machines())
+    def test_hill_climbing_is_monotone_and_valid(self, dag, machine):
+        initial = LevelRoundRobinScheduler().schedule(dag, machine)
+        result = hill_climb(initial, max_passes=3)
+        assert result.final_cost <= initial.cost() + 1e-9
+        assert result.schedule.is_valid()
+
+    @settings(max_examples=20, deadline=None)
+    @given(dag=random_dags(), machine=machines())
+    def test_legalization_produces_valid_schedules(self, dag, machine):
+        rng = np.random.default_rng(0)
+        proc = rng.integers(0, machine.P, dag.n)
+        step = np.zeros(dag.n, dtype=np.int64)
+        legal = legalize_superstep_assignment(dag, proc, step)
+        assert BspSchedule(dag, machine, proc, legal).is_valid()
+        assert np.array_equal(legal, legalize_superstep_assignment(dag, proc, legal))
+
+
+# ----------------------------------------------------------------------
+# Coarsening and serialization invariants
+# ----------------------------------------------------------------------
+class TestStructuralProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(dag=random_dags())
+    def test_coarsening_preserves_weights_and_acyclicity(self, dag):
+        target = max(1, dag.n // 2)
+        seq = coarsen_dag(dag, target)
+        coarse, mapping = seq.coarse_dag_after(seq.num_contractions)
+        assert coarse.total_work() == dag.total_work()
+        assert coarse.total_comm() == dag.total_comm()
+        assert coarse.n == dag.n - seq.num_contractions
+        assert len(mapping) == dag.n
+        # Quotient edges must come from original edges between distinct clusters.
+        for (cu, cv) in coarse.edges:
+            assert cu != cv
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags())
+    def test_hyperdag_round_trip(self, dag):
+        assert loads_hyperdag(dumps_hyperdag(dag)) == dag
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag=random_dags())
+    def test_topological_order_is_consistent(self, dag):
+        order = dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for (u, v) in dag.edges:
+            assert pos[u] < pos[v]
+        levels = dag.node_levels()
+        for (u, v) in dag.edges:
+            assert levels[u] < levels[v]

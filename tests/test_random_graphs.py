@@ -1,0 +1,84 @@
+"""Tests for random sparsity patterns and random DAG generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.random import (
+    banded_pattern,
+    erdos_renyi_dag,
+    random_layered_dag,
+    random_sparse_pattern,
+)
+
+
+class TestSparsePatterns:
+    def test_shape_and_bounds(self):
+        rows = random_sparse_pattern(10, 0.3, seed=0)
+        assert len(rows) == 10
+        for i, row in enumerate(rows):
+            assert all(0 <= j < 10 for j in row)
+            assert row == sorted(row)
+            assert i in row  # diagonal forced nonzero
+
+    def test_density_roughly_matches_q(self):
+        rows = random_sparse_pattern(60, 0.2, seed=1, ensure_nonempty_rows=False)
+        nnz = sum(len(r) for r in rows)
+        density = nnz / (60 * 60)
+        assert 0.1 < density < 0.3
+
+    def test_deterministic_with_seed(self):
+        assert random_sparse_pattern(8, 0.4, seed=5) == random_sparse_pattern(8, 0.4, seed=5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_sparse_pattern(5, 1.5)
+
+    def test_banded_pattern(self):
+        rows = banded_pattern(5, bandwidth=1)
+        assert rows[0] == [0, 1]
+        assert rows[2] == [1, 2, 3]
+        assert rows[4] == [3, 4]
+        with pytest.raises(ValueError):
+            banded_pattern(3, bandwidth=-1)
+
+
+class TestLayeredDag:
+    def test_structure(self):
+        dag = random_layered_dag(4, 5, edge_prob=0.5, seed=3)
+        assert dag.n == 20
+        assert dag.depth() == 4
+        # Every non-first-layer node has at least one parent.
+        for v in range(5, 20):
+            assert dag.in_degree(v) >= 1
+
+    def test_weights_in_range(self):
+        dag = random_layered_dag(3, 4, seed=0, work_range=(2, 5), comm_range=(1, 2))
+        assert dag.work.min() >= 2 and dag.work.max() <= 5
+        assert dag.comm.min() >= 1 and dag.comm.max() <= 2
+
+    def test_deterministic(self):
+        assert random_layered_dag(3, 3, seed=9) == random_layered_dag(3, 3, seed=9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            random_layered_dag(0, 3)
+
+
+class TestErdosRenyiDag:
+    def test_acyclic_by_construction(self):
+        dag = erdos_renyi_dag(30, 0.2, seed=4)
+        order = dag.topological_order()
+        assert len(order) == 30
+
+    def test_edge_orientation_follows_node_order(self):
+        dag = erdos_renyi_dag(20, 0.3, seed=2)
+        for (u, v) in dag.edges:
+            assert u < v
+
+    def test_empty_graph(self):
+        dag = erdos_renyi_dag(0)
+        assert dag.n == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_dag(-1)

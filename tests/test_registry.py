@@ -1,0 +1,40 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.model.machine import BspMachine
+from repro.registry import SCHEDULER_BUILDERS, available_schedulers, make_scheduler
+from repro.scheduler import Scheduler
+
+
+class TestRegistry:
+    def test_available_schedulers_sorted_and_complete(self):
+        names = available_schedulers()
+        assert names == sorted(names)
+        for expected in ("cilk", "hdagg", "etf", "bl-est", "bspg", "source", "framework", "multilevel"):
+            assert expected in names
+
+    def test_every_builder_returns_a_scheduler(self):
+        for name in available_schedulers():
+            scheduler = make_scheduler(name)
+            assert isinstance(scheduler, Scheduler), name
+            assert scheduler.name
+
+    def test_lookup_is_case_insensitive(self):
+        assert type(make_scheduler("HDagg")) is type(make_scheduler("hdagg"))
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_scheduler("heft")
+        assert "cilk" in str(excinfo.value)
+
+    def test_factories_produce_fresh_instances(self):
+        a = make_scheduler("framework")
+        b = make_scheduler("framework")
+        assert a is not b
+
+    @pytest.mark.parametrize("name", ["cilk", "hdagg", "bspg", "source", "level-rr", "trivial"])
+    def test_cheap_schedulers_run_end_to_end(self, name, diamond_dag):
+        machine = BspMachine(P=2, g=1, l=1)
+        schedule = make_scheduler(name).schedule_checked(diamond_dag, machine)
+        assert schedule.cost() > 0

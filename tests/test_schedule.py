@@ -1,0 +1,178 @@
+"""Unit tests for BspSchedule: validity, lazy communication, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dag import ComputationalDAG
+from repro.model.comm import CommSchedule
+from repro.model.machine import BspMachine
+from repro.model.schedule import (
+    BspSchedule,
+    ScheduleValidationError,
+    legalize_superstep_assignment,
+)
+
+
+class TestTrivialSchedule:
+    def test_trivial_is_valid(self, diamond_dag, machine4):
+        sched = BspSchedule.trivial(diamond_dag, machine4)
+        assert sched.is_valid()
+        assert sched.num_supersteps == 1
+        assert len(sched.lazy_comm_schedule()) == 0
+
+    def test_empty_dag(self, machine2):
+        dag = ComputationalDAG(0, [])
+        sched = BspSchedule.trivial(dag, machine2)
+        assert sched.is_valid()
+        assert sched.num_supersteps == 0
+        assert sched.cost() == 0.0
+
+
+class TestValidity:
+    def test_same_processor_ordering(self, chain_dag, machine2):
+        # Whole chain on one processor in one superstep: valid.
+        sched = BspSchedule(chain_dag, machine2, np.zeros(5, int), np.zeros(5, int))
+        assert sched.is_valid()
+        # Predecessor in a *later* superstep: invalid.
+        bad = BspSchedule(chain_dag, machine2, np.zeros(5, int), np.array([1, 0, 0, 0, 0]))
+        assert not bad.is_valid()
+        assert any("tau" in e for e in bad.validation_errors())
+
+    def test_cross_processor_requires_earlier_superstep(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)])
+        # Same superstep on different processors: no communication phase in
+        # between, hence invalid.
+        bad = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 0]))
+        assert not bad.is_valid()
+        good = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 1]))
+        assert good.is_valid()
+
+    def test_out_of_range_processor(self, diamond_dag, machine2):
+        sched = BspSchedule(diamond_dag, machine2, np.array([0, 1, 5, 0]), np.zeros(4, int))
+        assert not sched.is_valid()
+
+    def test_negative_superstep(self, diamond_dag, machine2):
+        sched = BspSchedule(diamond_dag, machine2, np.zeros(4, int), np.array([0, -1, 0, 0]))
+        assert not sched.is_valid()
+
+    def test_explicit_comm_schedule_validity(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)], comm=[2, 1])
+        proc = np.array([0, 1])
+        step = np.array([0, 1])
+        # Correct explicit schedule: send in phase 0.
+        comm = CommSchedule({(0, 0, 1, 0)})
+        assert BspSchedule(dag, machine2, proc, step, comm).is_valid()
+        # Too late: sending in phase 1 does not help node 1 in superstep 1.
+        late = CommSchedule({(0, 0, 1, 1)})
+        assert not BspSchedule(dag, machine2, proc, step, late).is_valid()
+        # Sending from a processor that never has the value.
+        wrong_src = CommSchedule({(0, 1, 1, 0)})
+        assert not BspSchedule(dag, machine2, proc, step, wrong_src).is_valid()
+
+    def test_relayed_communication_is_valid(self):
+        """A value may be forwarded by a processor that received it earlier."""
+        machine = BspMachine(P=3, g=1, l=1)
+        dag = ComputationalDAG(2, [(0, 1)])
+        proc = np.array([0, 2])
+        step = np.array([0, 3])
+        comm = CommSchedule({(0, 0, 1, 0), (0, 1, 2, 1)})
+        assert BspSchedule(dag, machine, proc, step, comm).is_valid()
+        # Relaying in the same superstep it was received is not allowed.
+        same_step = CommSchedule({(0, 0, 1, 1), (0, 1, 2, 1)})
+        assert not BspSchedule(dag, machine, proc, step, same_step).is_valid()
+
+    def test_validate_raises(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)])
+        bad = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 0]))
+        with pytest.raises(ScheduleValidationError):
+            bad.validate()
+
+    def test_wrong_array_length_rejected(self, diamond_dag, machine2):
+        with pytest.raises(ScheduleValidationError):
+            BspSchedule(diamond_dag, machine2, np.zeros(3, int), np.zeros(4, int))
+
+
+class TestLazyCommunication:
+    def test_required_transfers_deadlines(self, machine2):
+        # Node 0 on processor 0; consumers on processor 1 in supersteps 1 and 3.
+        dag = ComputationalDAG(3, [(0, 1), (0, 2)])
+        proc = np.array([0, 1, 1])
+        step = np.array([0, 1, 3])
+        sched = BspSchedule(dag, machine2, proc, step)
+        transfers = sched.required_transfers()
+        assert transfers == {(0, 1): 1}
+
+    def test_lazy_comm_sends_in_last_phase(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)])
+        sched = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 4]))
+        lazy = sched.lazy_comm_schedule()
+        assert (0, 0, 1, 3) in lazy
+        assert len(lazy) == 1
+
+    def test_with_lazy_comm_round_trip(self, diamond_dag, machine2):
+        proc = np.array([0, 0, 1, 0])
+        step = np.array([0, 1, 1, 2])
+        sched = BspSchedule(diamond_dag, machine2, proc, step)
+        explicit = sched.with_lazy_comm()
+        assert explicit.comm is not None
+        assert explicit.is_valid()
+        assert explicit.cost() == pytest.approx(sched.cost())
+        assert explicit.without_comm().comm is None
+
+    def test_no_transfer_for_same_processor(self, chain_dag, machine2):
+        sched = BspSchedule(chain_dag, machine2, np.zeros(5, int), np.arange(5))
+        assert sched.required_transfers() == {}
+
+
+class TestNormalization:
+    def test_normalized_removes_empty_supersteps(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)])
+        sched = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 5]))
+        norm = sched.normalized()
+        assert norm.num_supersteps == 2
+        assert norm.is_valid()
+        # Cost must not increase by compaction (latency can only shrink).
+        assert norm.cost() <= sched.cost()
+
+    def test_normalized_preserves_explicit_comm(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)], comm=[3, 1])
+        comm = CommSchedule({(0, 0, 1, 2)})
+        sched = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 4]), comm)
+        norm = sched.normalized()
+        assert norm.is_valid()
+        assert len(norm.comm) == 1
+
+    def test_copy_is_deep_for_assignment(self, diamond_dag, machine2):
+        sched = BspSchedule.trivial(diamond_dag, machine2)
+        clone = sched.copy()
+        clone.proc[0] = 1
+        assert sched.proc[0] == 0
+
+
+class TestHelpers:
+    def test_nodes_in_superstep_and_on_processor(self, diamond_dag, machine2):
+        proc = np.array([0, 1, 0, 1])
+        step = np.array([0, 1, 1, 2])
+        sched = BspSchedule(diamond_dag, machine2, proc, step)
+        assert sched.nodes_in_superstep(1) == [1, 2]
+        assert sched.nodes_on_processor(1) == [1, 3]
+        assert sched.assignment(3) == (1, 2)
+
+    def test_legalize_superstep_assignment(self, machine2):
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)])
+        proc = np.array([0, 1, 0])
+        step = np.array([0, 0, 0])
+        fixed = legalize_superstep_assignment(dag, proc, step)
+        sched = BspSchedule(dag, machine2, proc, fixed)
+        assert sched.is_valid()
+        # Cross-processor edges force strictly increasing supersteps.
+        assert fixed[1] >= 1 and fixed[2] >= 2
+
+    def test_legalize_is_idempotent(self, layered_dag, machine4):
+        rng = np.random.default_rng(0)
+        proc = rng.integers(0, machine4.P, layered_dag.n)
+        step = np.zeros(layered_dag.n, dtype=int)
+        once = legalize_superstep_assignment(layered_dag, proc, step)
+        twice = legalize_superstep_assignment(layered_dag, proc, once)
+        assert np.array_equal(once, twice)
+        assert BspSchedule(layered_dag, machine4, proc, once).is_valid()

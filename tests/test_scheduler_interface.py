@@ -1,0 +1,47 @@
+"""Tests for the Scheduler base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dag import ComputationalDAG
+from repro.model.machine import BspMachine
+from repro.model.schedule import BspSchedule
+from repro.scheduler import Scheduler, SchedulingError
+
+
+class BrokenScheduler(Scheduler):
+    """Deliberately returns an invalid schedule (cross-processor edge within
+    one superstep) to exercise the checked wrapper."""
+
+    name = "Broken"
+
+    def schedule(self, dag, machine):
+        proc = np.arange(dag.n) % machine.P
+        step = np.zeros(dag.n, dtype=np.int64)
+        return BspSchedule(dag, machine, proc, step)
+
+
+class IdentityScheduler(Scheduler):
+    name = "Identity"
+
+    def schedule(self, dag, machine):
+        return BspSchedule.trivial(dag, machine)
+
+
+class TestSchedulerContract:
+    def test_abstract_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            Scheduler()
+
+    def test_schedule_checked_passes_valid_schedules_through(self, diamond_dag, machine2):
+        sched = IdentityScheduler().schedule_checked(diamond_dag, machine2)
+        assert sched.is_valid()
+
+    def test_schedule_checked_raises_on_invalid_schedule(self, machine2):
+        dag = ComputationalDAG(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(SchedulingError) as excinfo:
+            BrokenScheduler().schedule_checked(dag, machine2)
+        assert "Broken" in str(excinfo.value)
+
+    def test_repr_contains_name(self):
+        assert "Identity" in repr(IdentityScheduler())

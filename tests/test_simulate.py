@@ -1,0 +1,75 @@
+"""Tests for the BSP timeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hdagg import HDaggScheduler
+from repro.graphs.dag import ComputationalDAG
+from repro.model.machine import BspMachine
+from repro.model.schedule import BspSchedule
+from repro.model.simulate import simulate_timeline
+
+
+class TestTimelineStructure:
+    def test_makespan_equals_total_cost(self, all_test_dags, machine4):
+        for dag in all_test_dags:
+            sched = HDaggScheduler().schedule(dag, machine4)
+            timeline = simulate_timeline(sched)
+            assert timeline.makespan == pytest.approx(sched.cost())
+
+    def test_makespan_equals_cost_with_numa(self, exp_small, numa_machine):
+        sched = HDaggScheduler().schedule(exp_small, numa_machine)
+        assert simulate_timeline(sched).makespan == pytest.approx(sched.cost())
+
+    def test_every_node_executed_exactly_once(self, layered_dag, machine4):
+        sched = HDaggScheduler().schedule(layered_dag, machine4)
+        timeline = simulate_timeline(sched)
+        executed = sorted(e.node for e in timeline.executions)
+        assert executed == list(range(layered_dag.n))
+
+    def test_execution_duration_equals_work(self, diamond_dag, machine2):
+        sched = BspSchedule.trivial(diamond_dag, machine2)
+        timeline = simulate_timeline(sched)
+        for execution in timeline.executions:
+            assert execution.end - execution.start == pytest.approx(
+                float(diamond_dag.work[execution.node])
+            )
+
+    def test_no_overlap_on_a_processor(self, layered_dag, machine4):
+        sched = HDaggScheduler().schedule(layered_dag, machine4)
+        timeline = simulate_timeline(sched)
+        for p in range(machine4.P):
+            executions = timeline.executions_on(p)
+            for a, b in zip(executions, executions[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_phases_are_contiguous_and_ordered(self, fork_join_dag, machine4):
+        sched = HDaggScheduler().schedule(fork_join_dag, machine4)
+        timeline = simulate_timeline(sched)
+        phases = timeline.phases
+        for a, b in zip(phases, phases[1:]):
+            assert b.start == pytest.approx(a.end)
+        assert phases[-1].end == pytest.approx(timeline.makespan)
+
+    def test_phase_kinds(self, machine2):
+        dag = ComputationalDAG(2, [(0, 1)], work=[2, 2], comm=[3, 1])
+        sched = BspSchedule(dag, machine2, np.array([0, 1]), np.array([0, 1]))
+        timeline = simulate_timeline(sched)
+        kinds = [(p.superstep, p.kind) for p in timeline.phases]
+        assert (0, "compute") in kinds
+        assert (0, "communicate") in kinds
+        assert (1, "compute") in kinds
+        # The latency term is charged once per occurring superstep.
+        assert sum(1 for _, k in kinds if k == "latency") == 2
+
+    def test_empty_schedule(self, machine2):
+        dag = ComputationalDAG(0, [])
+        timeline = simulate_timeline(BspSchedule.trivial(dag, machine2))
+        assert timeline.makespan == 0.0
+        assert timeline.phases == [] and timeline.executions == []
+
+    def test_nodes_respect_topological_order_within_processor(self, chain_dag, machine2):
+        sched = BspSchedule.trivial(chain_dag, machine2)
+        timeline = simulate_timeline(sched)
+        ordered = timeline.executions_on(0)
+        assert [e.node for e in ordered] == list(chain_dag.topological_order())

@@ -1,0 +1,79 @@
+"""Tests for the parameter-sweep utility and its CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.sweep import MachineSpec, records_to_csv, sweep
+from repro.graphs.fine import spmv_dag
+from repro.model.machine import BspMachine
+from repro.pipeline.config import PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_grid_records():
+    datasets = {"tiny": [spmv_dag(5, q=0.3, seed=1)]}
+    machines = [MachineSpec(P=2, g=1, l=3), MachineSpec(P=2, g=3, l=3, delta=2.0)]
+    return sweep(
+        datasets,
+        machines,
+        pipeline_config=PipelineConfig.fast(),
+        baselines_only=True,
+    )
+
+
+class TestMachineSpec:
+    def test_uniform_and_numa_builds(self):
+        assert MachineSpec(P=4, g=2).build().is_uniform
+        numa = MachineSpec(P=4, g=2, delta=3.0).build()
+        assert not numa.is_uniform
+        assert numa.coefficient(0, 2) == 3.0
+
+    def test_describe_round_trip(self):
+        meta = MachineSpec(P=8, g=1, l=5, delta=4.0).describe()
+        assert meta == {"P": 8, "g": 1, "l": 5, "delta": 4.0}
+
+
+class TestSweep:
+    def test_one_record_per_algorithm_and_machine(self, tiny_grid_records):
+        records = tiny_grid_records
+        # baselines_only records Cilk, HDagg, BL-EST, ETF and Trivial.
+        algorithms = {r.algorithm for r in records}
+        assert {"Cilk", "HDagg", "Trivial"} <= algorithms
+        machines = {(r.P, r.g, r.delta) for r in records}
+        assert len(machines) == 2
+
+    def test_baseline_ratio_is_one_for_baseline(self, tiny_grid_records):
+        for record in tiny_grid_records:
+            if record.algorithm == "Cilk":
+                assert record.ratio_to_baseline == pytest.approx(1.0)
+            assert record.cost > 0
+
+    def test_full_pipeline_records_include_stages(self):
+        datasets = {"tiny": [spmv_dag(5, q=0.3, seed=2)]}
+        records = sweep(
+            datasets,
+            [MachineSpec(P=2, g=2, l=3)],
+            pipeline_config=PipelineConfig.fast(),
+            include_list_baselines=False,
+        )
+        algorithms = {r.algorithm for r in records}
+        assert {"Init", "HCcs", "ILP"} <= algorithms
+        ours = next(r for r in records if r.algorithm == "ILP")
+        assert ours.ratio_to_baseline <= 1.2
+
+
+class TestCsvExport:
+    def test_round_trip(self, tiny_grid_records, tmp_path):
+        path = tmp_path / "sweep.csv"
+        records_to_csv(tiny_grid_records, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(tiny_grid_records)
+        assert set(rows[0]) == set(tiny_grid_records[0].as_dict())
+
+    def test_empty_records_still_write_header(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        records_to_csv([], path)
+        header = path.read_text().strip().splitlines()[0]
+        assert "algorithm" in header
