@@ -2,8 +2,10 @@
 
 Not a paper table: these benchmark the throughput of the building blocks
 (cost evaluation, validity checking, the baselines, the initialization
-heuristics, hill climbing and coarsening) so that performance regressions in
-the library itself are visible.
+heuristics, hill climbing and coarsening) plus the array-native kernel
+primitives (CSR construction, local-search state build, batched move
+probing) and the experiment engine, so that performance regressions in the
+library itself are visible.
 """
 
 import pytest
@@ -11,11 +13,14 @@ import pytest
 from repro.baselines.cilk import CilkScheduler
 from repro.baselines.hdagg import HDaggScheduler
 from repro.baselines.list_schedulers import EtfScheduler
+from repro.experiments.runner import ParallelRunner
+from repro.graphs.dag import ComputationalDAG
 from repro.graphs.fine import exp_dag
 from repro.heuristics.bspg import BspGreedyScheduler
 from repro.heuristics.source import SourceScheduler
 from repro.localsearch.hill_climbing import hill_climb
 from repro.localsearch.comm_hill_climbing import comm_hill_climb
+from repro.localsearch.state import LocalSearchState
 from repro.model.cost import evaluate
 from repro.model.machine import BspMachine
 from repro.multilevel.coarsen import coarsen_dag
@@ -70,11 +75,13 @@ def test_source_scheduler(benchmark, dag, machine):
     assert sched.is_valid()
 
 
-def test_hill_climbing_pass(benchmark, hdagg_schedule):
+def test_hill_climbing_hot_path(benchmark, hdagg_schedule):
+    """The HC hot loop: probe + apply moves until a local optimum."""
     result = benchmark.pedantic(
-        lambda: hill_climb(hdagg_schedule, max_passes=1), rounds=1, iterations=1
+        lambda: hill_climb(hdagg_schedule), rounds=3, iterations=1
     )
     assert result.schedule.is_valid()
+    assert result.final_cost <= result.initial_cost
 
 
 def test_comm_hill_climbing(benchmark, hdagg_schedule):
@@ -89,3 +96,51 @@ def test_coarsening(benchmark, dag):
         lambda: coarsen_dag(dag, max(8, dag.n // 3)), rounds=1, iterations=1
     )
     assert seq.num_contractions > 0
+
+
+# ----------------------------------------------------------------------
+# Array-native kernel primitives
+# ----------------------------------------------------------------------
+def test_csr_construction(benchmark, dag):
+    """Cost of building the cached CSR adjacency of a fresh DAG."""
+
+    def build():
+        clone = ComputationalDAG(dag.n, list(dag.edges), dag.work, dag.comm)
+        return clone.succ_indptr, clone.pred_indptr
+
+    succ_indptr, _ = benchmark(build)
+    assert int(succ_indptr[-1]) == dag.num_edges
+
+
+def test_localsearch_state_build(benchmark, hdagg_schedule):
+    """Cost of materializing the incremental local-search state."""
+    state = benchmark(LocalSearchState, hdagg_schedule)
+    assert state.total_cost == pytest.approx(state.recompute_cost())
+
+
+def test_move_probe_throughput(benchmark, hdagg_schedule):
+    """Batched candidate probing (move_deltas) over every node."""
+    state = LocalSearchState(hdagg_schedule)
+
+    def probe_all():
+        probed = 0
+        for v in range(state.dag.n):
+            moves = state.candidate_moves(v)
+            if moves:
+                probed += len(state.move_deltas(v, moves))
+        return probed
+
+    probed = benchmark(probe_all)
+    assert probed > 0
+
+
+def test_parallel_runner_serial_engine(benchmark, machine):
+    """Engine overhead: baselines-only experiment through ParallelRunner."""
+    dags = [exp_dag(5, k=2, q=0.3, seed=s) for s in (1, 2)]
+
+    def run():
+        return ParallelRunner(1).run_experiment(dags, machine, baselines_only=True)
+
+    experiment = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(experiment.instances) == 2
+    assert all("Cilk" in inst.costs for inst in experiment.instances)

@@ -15,7 +15,7 @@ G_VALUES = (1, 5)
 LATENCY = 5
 
 
-def test_table01_no_numa(benchmark, main_datasets, fast_config, emit):
+def test_table01_no_numa(benchmark, main_datasets, fast_config, emit, jobs):
     def run():
         return paper_tables.make_table1_no_numa(
             main_datasets,
@@ -23,6 +23,7 @@ def test_table01_no_numa(benchmark, main_datasets, fast_config, emit):
             g_values=G_VALUES,
             latency=LATENCY,
             config=fast_config,
+            jobs=jobs,
         )
 
     by_p, by_dataset, _grid = run_once(benchmark, run)

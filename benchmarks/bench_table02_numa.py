@@ -10,7 +10,7 @@ from repro.experiments import tables as paper_tables
 from conftest import run_once
 
 
-def test_table02_numa(benchmark, main_datasets, fast_config, emit):
+def test_table02_numa(benchmark, main_datasets, fast_config, emit, jobs):
     def run():
         return paper_tables.make_table2_numa(
             main_datasets,
@@ -19,6 +19,7 @@ def test_table02_numa(benchmark, main_datasets, fast_config, emit):
             g=1,
             latency=5,
             config=fast_config,
+            jobs=jobs,
         )
 
     table, _grid = run_once(benchmark, run)

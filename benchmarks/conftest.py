@@ -25,6 +25,10 @@ from repro.pipeline.config import MultilevelConfig, PipelineConfig
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 
+#: Worker processes of the experiment engine (1 = serial); aggregates are
+#: identical for every value, only the wall-clock changes.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 #: Instances per dataset used by the benchmarks at each scale.
 _MAX_INSTANCES = {"smoke": 2, "reduced": 8, "paper": None}
 
@@ -36,6 +40,12 @@ def _instances(name: str) -> List[ComputationalDAG]:
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker count for benchmarks ported to the parallel experiment engine."""
+    return JOBS
 
 
 @pytest.fixture(scope="session")

@@ -47,7 +47,7 @@ def simulate_work_stealing(
     if n == 0:
         return ClassicalSchedule(dag, machine, proc, start)
 
-    remaining_parents = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
+    remaining_parents = np.diff(dag.pred_indptr).copy()
     stacks: List[Deque[int]] = [deque() for _ in range(P)]
     # Sources are spawned by the "main" task on processor 0, mirroring the
     # original Cilk setting where the root process runs on one worker.

@@ -85,26 +85,31 @@ class HDaggScheduler(Scheduler):
 
         groups = self._aggregate_levels(dag, P)
         topo_pos = {v: i for i, v in enumerate(dag.topological_order())}
+        comm = np.asarray(dag.comm, dtype=np.float64)
+        work = np.asarray(dag.work, dtype=np.float64)
 
         for s, group in enumerate(groups):
             group_sorted = sorted(group, key=lambda v: topo_pos[v])
-            total_work = float(sum(dag.work[v] for v in group))
+            total_work = float(work[group].sum())
             cap = self.balance_slack * total_work / P if P > 0 else float("inf")
             load = np.zeros(P, dtype=np.float64)
+            affinity = np.zeros(P, dtype=np.float64)
             for v in group_sorted:
                 step[v] = s
                 # Locality score: communication weight of predecessors already
                 # assigned to each processor (both in this and earlier groups).
-                affinity = np.zeros(P, dtype=np.float64)
-                for u in dag.parents(v):
-                    affinity[proc[u]] += float(dag.comm[u])
-                preferred = int(np.argmax(affinity)) if affinity.max() > 0 else int(np.argmin(load))
-                if load[preferred] + float(dag.work[v]) <= cap or affinity.max() == 0:
+                affinity[:] = 0.0
+                parents = dag.predecessors_array(v)
+                if parents.size:
+                    np.add.at(affinity, proc[parents], comm[parents])
+                max_affinity = float(affinity.max())
+                preferred = int(np.argmax(affinity)) if max_affinity > 0 else int(np.argmin(load))
+                if load[preferred] + float(work[v]) <= cap or max_affinity == 0:
                     target = preferred
                 else:
                     target = int(np.argmin(load))
                 proc[v] = target
-                load[target] += float(dag.work[v])
+                load[target] += float(work[v])
 
         # Within a group, an edge between different processors would violate
         # BSP validity (same superstep, so no communication phase in between).
@@ -113,10 +118,11 @@ class HDaggScheduler(Scheduler):
         # resolved by the legalization pass, which pushes the successor into
         # a later superstep.
         for v in dag.topological_order():
-            same_step_procs = {
-                int(proc[u]) for u in dag.parents(v) if step[u] == step[v]
-            }
-            if len(same_step_procs) == 1 and int(proc[v]) not in same_step_procs:
-                proc[v] = same_step_procs.pop()
+            parents = dag.predecessors_array(v)
+            if parents.size == 0:
+                continue
+            same_step_procs = np.unique(proc[parents[step[parents] == step[v]]])
+            if same_step_procs.size == 1 and int(proc[v]) != int(same_step_procs[0]):
+                proc[v] = same_step_procs[0]
         step = legalize_superstep_assignment(dag, proc, step)
         return BspSchedule(dag, machine, proc, step)

@@ -74,17 +74,17 @@ def list_schedule(
     bottom = dag.bottom_level()
     finish = np.zeros(n, dtype=np.float64)
     proc_ready = np.zeros(P, dtype=np.float64)
-    remaining_parents = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
-    ready: Set[int] = {v for v in range(n) if remaining_parents[v] == 0}
+    remaining_parents = np.diff(dag.pred_indptr).copy()
+    ready: Set[int] = set(np.nonzero(remaining_parents == 0)[0].tolist())
     placed = np.zeros(n, dtype=bool)
+    comm = np.asarray(dag.comm, dtype=np.float64)
 
     def est(v: int, p: int) -> float:
         t = float(proc_ready[p])
-        for u in dag.parents(v):
-            if proc[u] == p:
-                t = max(t, float(finish[u]))
-            else:
-                t = max(t, float(finish[u]) + delay * float(dag.comm[u]))
+        parents = dag.predecessors_array(v)
+        if parents.size:
+            arrival = finish[parents] + np.where(proc[parents] == p, 0.0, delay * comm[parents])
+            t = max(t, float(arrival.max()))
         return t
 
     for _ in range(n):

@@ -1,11 +1,17 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands cover the workflows a downstream user needs most often:
+Four subcommands cover the workflows a downstream user needs most often:
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file or a generated instance)
     on a described machine with any registered scheduler and print the cost
-    breakdown, optionally comparing several schedulers side by side.
+    breakdown, optionally comparing several schedulers side by side
+    (``--schedulers a,b,c`` — run in parallel with ``--jobs N``).
+
+``repro``
+    Regenerate one table or figure of the paper's evaluation by name
+    (``table1`` .. ``table14``, ``fig5`` .. ``fig7``) on laptop-scale
+    datasets, optionally on several worker processes (``--jobs N``).
 
 ``generate``
     Generate a computational DAG with one of the paper's generators and
@@ -18,8 +24,10 @@ Examples::
 
     python -m repro generate --kind spmv --size 12 --out spmv.hdag
     python -m repro info spmv.hdag
-    python -m repro schedule spmv.hdag -P 4 -g 3 -l 5 --scheduler framework --compare cilk hdagg
+    python -m repro schedule spmv.hdag -P 4 -g 3 -l 5 --schedulers framework,cilk,hdagg --jobs 3
     python -m repro schedule --kind cg --size 8 -P 8 -g 1 -l 5 --delta 3 --scheduler multilevel
+    python -m repro repro table1 --jobs 4
+    python -m repro repro --list
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from .graphs.fine import FINE_GRAINED_GENERATORS, generate_fine_grained
 from .graphs.hyperdag import read_hyperdag, write_hyperdag
 from .model.inspect import describe_schedule, schedule_to_text_gantt
 from .model.machine import BspMachine
-from .registry import available_schedulers, make_scheduler
+from .registry import available_schedulers
 
 __all__ = ["main", "build_parser"]
 
@@ -122,8 +130,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCHEDULER",
         help="additional schedulers to run for comparison",
     )
+    p_sched.add_argument(
+        "--schedulers",
+        metavar="A,B,C",
+        help="comma-separated scheduler list (overrides --scheduler/--compare; "
+        "the first entry is the primary scheduler)",
+    )
+    p_sched.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes used to run the schedulers (default: 1)",
+    )
     p_sched.add_argument("--gantt", action="store_true", help="print a text Gantt view of the schedule")
     p_sched.add_argument("--out", help="write the scheduled DAG assignment to this file (CSV)")
+
+    # repro -------------------------------------------------------------
+    p_repro = sub.add_parser(
+        "repro", help="regenerate a table/figure of the paper's evaluation"
+    )
+    p_repro.add_argument(
+        "target",
+        nargs="?",
+        help="table1..table14 or fig5..fig7 (see --list)",
+    )
+    p_repro.add_argument("--list", action="store_true", help="list the available targets")
+    p_repro.add_argument(
+        "--scale",
+        default="smoke",
+        choices=("smoke", "reduced", "paper"),
+        help="dataset scale (default: smoke, laptop friendly)",
+    )
+    p_repro.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes of the experiment engine (default: 1)",
+    )
+    p_repro.add_argument("--seed", type=int, default=7, help="dataset generation seed")
+    p_repro.add_argument("--markdown", action="store_true", help="print tables as markdown")
 
     # generate ----------------------------------------------------------
     p_gen = sub.add_parser("generate", help="generate a computational DAG and write a hyperDAG file")
@@ -141,14 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
 # Commands
 # ----------------------------------------------------------------------
 def _command_schedule(args: argparse.Namespace) -> int:
+    from .experiments.runner import schedule_many
+
     dag = _load_or_generate_dag(args)
     machine = _build_machine(args)
-    names = [args.scheduler] + list(args.compare)
-    results = []
-    for name in names:
-        scheduler = make_scheduler(name)
-        schedule = scheduler.schedule_checked(dag, machine)
-        results.append((name, schedule))
+    if args.schedulers:
+        names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+        if not names:
+            raise SystemExit("--schedulers needs at least one scheduler name")
+    else:
+        names = [args.scheduler] + list(args.compare)
+    results = schedule_many(dag, machine, names, jobs=args.jobs)
 
     primary_name, primary = results[0]
     print(describe_schedule(primary, name=f"{primary_name} schedule"))
@@ -170,6 +220,26 @@ def _command_schedule(args: argparse.Namespace) -> int:
             for v in range(dag.n):
                 handle.write(f"{v},{int(primary.proc[v])},{int(primary.step[v])}\n")
         print(f"\nwrote assignment of {dag.n} nodes to {args.out}")
+    return 0
+
+
+def _command_repro(args: argparse.Namespace) -> int:
+    from .experiments.tables import REPRO_TARGETS, reproduce
+
+    if args.list or not args.target:
+        width = max(len(name) for name in REPRO_TARGETS)
+        for name, description in REPRO_TARGETS.items():
+            print(f"{name.ljust(width)} : {description}")
+        if not args.list and not args.target:
+            print("\npick a target: python -m repro repro <target>")
+        return 0
+    try:
+        tables = reproduce(args.target, scale=args.scale, jobs=args.jobs, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for table in tables:
+        print(table.to_markdown() if args.markdown else table.to_text())
+        print()
     return 0
 
 
@@ -195,6 +265,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "schedule":
         return _command_schedule(args)
+    if args.command == "repro":
+        return _command_repro(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "info":

@@ -28,9 +28,66 @@ __all__ = [
     "load_experiment",
     "schedule_to_dict",
     "schedule_from_dict",
+    "CheckpointWriter",
+    "read_checkpoint",
 ]
 
 PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Incremental work-item checkpoints (JSONL)
+# ----------------------------------------------------------------------
+class CheckpointWriter:
+    """Append-only JSONL writer used by the parallel experiment engine.
+
+    Every record is one completed work item; the file is flushed after each
+    append so a crashed or interrupted sweep loses at most the in-flight
+    items.  Re-opening the same path appends, which is what allows
+    ``ParallelRunner(resume=True)`` to continue a partial run.
+    """
+
+    def __init__(self, path: PathLike, append: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a" if append else "w")
+
+    def append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_checkpoint(path: PathLike) -> List[dict]:
+    """Read all records of a JSONL checkpoint written by :class:`CheckpointWriter`.
+
+    Malformed lines are skipped rather than raised on: a process killed
+    mid-append leaves a truncated final line, and the whole point of the
+    checkpoint is to survive exactly that — the interrupted item simply
+    re-runs.
+    """
+    records: List[dict] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
 
 
 # ----------------------------------------------------------------------

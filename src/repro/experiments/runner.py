@@ -1,41 +1,74 @@
-"""Experiment runner: run schedulers on instances and aggregate cost ratios.
+"""Experiment engine: run schedulers on instances and aggregate cost ratios.
 
 The paper evaluates every scheduler by the ratio of its schedule cost to the
 cost of the ``Cilk`` baseline on the same instance, aggregated over a dataset
-with the geometric mean (Section 7).  This module runs the baselines, the
-pipeline stages and (optionally) the multilevel scheduler on a set of
-instances and produces exactly those aggregates.
+with the geometric mean (Section 7).  This module provides the engine behind
+all tables and figures:
+
+* the unit of work is a :class:`WorkItem` — a ``(dag, machine,
+  scheduler-name)`` tuple whose scheduler is resolved through
+  :mod:`repro.registry` (baselines) or runs one of the two composite
+  evaluations (the pipeline stages, the multilevel sweep),
+* :class:`ParallelRunner` executes work items either in-process or on a
+  ``multiprocessing`` pool (``jobs > 1``), with deterministic result
+  ordering regardless of completion order and optional incremental
+  persistence through :mod:`repro.experiments.persistence`,
+* :func:`run_instance` / :func:`run_experiment` keep the historical
+  aggregate API on top of the engine.
+
+Every cost the engine records comes from a validated schedule: baselines go
+through :meth:`Scheduler.schedule_checked` and the composite items validate
+their final schedules, so an invalid schedule fails loudly instead of
+producing a bogus table entry.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..baselines.cilk import CilkScheduler
-from ..baselines.hdagg import HDaggScheduler
-from ..baselines.list_schedulers import BlEstScheduler, EtfScheduler
-from ..baselines.trivial import TrivialScheduler
+import numpy as np
+
 from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
 from ..multilevel.scheduler import multilevel_schedule
 from ..pipeline.config import MultilevelConfig, PipelineConfig
 from ..pipeline.framework import run_pipeline
+from ..registry import TABLE_LABELS, make_scheduler, registry_name_for_label
 from .report import geometric_mean
 
 __all__ = [
     "InstanceResult",
     "ExperimentResult",
+    "WorkItem",
+    "WorkItemResult",
+    "ParallelRunner",
+    "execute_work_item",
     "run_instance",
     "run_experiment",
+    "schedule_many",
+    "set_default_jobs",
     "stage_ratio_summary",
 ]
 
-#: Stage / algorithm labels used throughout the tables.
-BASELINE_LABELS = ("Cilk", "HDagg", "BL-EST", "ETF", "Trivial")
+#: Stage / algorithm labels used throughout the tables.  The baseline labels
+#: are exactly the registry's table-label map, in table order.
+BASELINE_LABELS = tuple(TABLE_LABELS)
 STAGE_LABELS = ("Init", "HCcs", "ILP")
 
+#: Pseudo scheduler names of the composite work items (everything else is a
+#: registry name).
+PIPELINE_ITEM = "pipeline"
+MULTILEVEL_ITEM = "multilevel-sweep"
 
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
 @dataclass
 class InstanceResult:
     """Costs of every algorithm on a single (DAG, machine) instance."""
@@ -77,6 +110,365 @@ class ExperimentResult:
         return 1.0 - self.mean_ratio(label, baseline)
 
 
+# ----------------------------------------------------------------------
+# Work items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of engine work: run one scheduler on one instance.
+
+    ``scheduler`` is a registry name (resolved via
+    :func:`repro.registry.make_scheduler`) or one of the two composite
+    pseudo-names :data:`PIPELINE_ITEM` / :data:`MULTILEVEL_ITEM`.
+    """
+
+    index: int
+    instance: int
+    dag: ComputationalDAG
+    machine: BspMachine
+    scheduler: str
+    label: Optional[str] = None
+    pipeline_config: Optional[PipelineConfig] = None
+    multilevel_config: Optional[MultilevelConfig] = None
+    keep_schedule: bool = False
+
+    def signature(self) -> str:
+        """Digest of everything that determines this item's costs.
+
+        Stored in checkpoint records so that resume only reuses a record
+        produced by an identical (dag, machine, scheduler, config) item —
+        same index alone is not proof of same work.
+        """
+        dag, machine = self.dag, self.machine
+        structure = hashlib.md5()
+        structure.update(np.ascontiguousarray(dag.edge_sources).tobytes())
+        structure.update(np.ascontiguousarray(dag.edge_targets).tobytes())
+        structure.update(np.ascontiguousarray(dag.work).tobytes())
+        structure.update(np.ascontiguousarray(dag.comm).tobytes())
+        structure.update(np.ascontiguousarray(machine.numa).tobytes())
+        payload = "|".join(
+            (
+                self.scheduler,
+                dag.name,
+                str(dag.n),
+                str(machine.P),
+                str(machine.g),
+                str(machine.l),
+                structure.hexdigest(),
+                repr(self.pipeline_config),
+                repr(self.multilevel_config),
+            )
+        )
+        return hashlib.md5(payload.encode()).hexdigest()
+
+
+@dataclass
+class WorkItemResult:
+    """Outcome of one work item (costs keyed by table label)."""
+
+    index: int
+    instance: int
+    costs: Dict[str, float]
+    best_initializer: str = ""
+    initializer_costs: Dict[str, float] = field(default_factory=dict)
+    schedule: Optional[BspSchedule] = None
+    #: Identity of the work item that produced this result (used to match
+    #: checkpoint records against the current run on resume).
+    scheduler: str = ""
+    dag_name: str = ""
+    item_signature: str = ""
+
+    def matches(self, item: WorkItem) -> bool:
+        """True if this (checkpoint) result belongs to ``item``."""
+        return (
+            self.index == item.index
+            and self.instance == item.instance
+            and self.scheduler == item.scheduler
+            and self.dag_name == item.dag.name
+            and self.item_signature == item.signature()
+        )
+
+    def as_record(self) -> dict:
+        """JSON-serializable checkpoint record (schedules are not persisted)."""
+        return {
+            "item": self.index,
+            "instance": self.instance,
+            "scheduler": self.scheduler,
+            "dag": self.dag_name,
+            "signature": self.item_signature,
+            "costs": dict(self.costs),
+            "best_initializer": self.best_initializer,
+            "initializer_costs": dict(self.initializer_costs),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "WorkItemResult":
+        return cls(
+            index=int(record["item"]),
+            instance=int(record["instance"]),
+            costs={k: float(v) for k, v in record["costs"].items()},
+            best_initializer=record.get("best_initializer", ""),
+            initializer_costs={
+                k: float(v) for k, v in record.get("initializer_costs", {}).items()
+            },
+            scheduler=record.get("scheduler", ""),
+            dag_name=record.get("dag", ""),
+            item_signature=record.get("signature", ""),
+        )
+
+
+def execute_work_item(item: WorkItem) -> WorkItemResult:
+    """Run one work item; every recorded cost comes from a checked schedule."""
+    dag, machine = item.dag, item.machine
+    if item.scheduler == PIPELINE_ITEM:
+        pipe = run_pipeline(dag, machine, item.pipeline_config)
+        pipe.schedule.validate()
+        return WorkItemResult(
+            index=item.index,
+            instance=item.instance,
+            costs={
+                "Init": pipe.init_cost,
+                "HCcs": pipe.local_search_cost,
+                "ILPpart": pipe.ilp_assignment_cost,
+                "ILP": pipe.final_cost,
+            },
+            best_initializer=pipe.best_initializer,
+            initializer_costs=dict(pipe.initializer_costs),
+            schedule=pipe.schedule if item.keep_schedule else None,
+            scheduler=item.scheduler,
+            dag_name=dag.name,
+            item_signature=item.signature(),
+        )
+    if item.scheduler == MULTILEVEL_ITEM:
+        assert item.multilevel_config is not None
+        ml_schedule, per_ratio = multilevel_schedule(dag, machine, item.multilevel_config)
+        ml_schedule.validate()
+        costs: Dict[str, float] = {"ML": float(ml_schedule.cost())}
+        for ratio, cost in per_ratio.items():
+            costs[f"ML@{ratio:g}"] = float(cost)
+        return WorkItemResult(
+            index=item.index,
+            instance=item.instance,
+            costs=costs,
+            schedule=ml_schedule if item.keep_schedule else None,
+            scheduler=item.scheduler,
+            dag_name=dag.name,
+            item_signature=item.signature(),
+        )
+    scheduler = make_scheduler(item.scheduler)
+    schedule = scheduler.schedule_checked(dag, machine)
+    label = item.label if item.label is not None else scheduler.name
+    return WorkItemResult(
+        index=item.index,
+        instance=item.instance,
+        costs={label: float(schedule.cost())},
+        schedule=schedule if item.keep_schedule else None,
+        scheduler=item.scheduler,
+        dag_name=dag.name,
+        item_signature=item.signature(),
+    )
+
+
+def _instance_work_items(
+    instance: int,
+    next_index: int,
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    *,
+    pipeline_config: Optional[PipelineConfig],
+    include_list_baselines: bool,
+    include_trivial: bool,
+    multilevel_config: Optional[MultilevelConfig],
+    baselines_only: bool,
+) -> List[WorkItem]:
+    """The work items of one instance, in table label order."""
+    labels = ["Cilk", "HDagg"]
+    if include_list_baselines:
+        labels += ["BL-EST", "ETF"]
+    if include_trivial:
+        labels.append("Trivial")
+    items = [
+        WorkItem(
+            index=next_index + k,
+            instance=instance,
+            dag=dag,
+            machine=machine,
+            scheduler=registry_name_for_label(label),
+            label=label,
+        )
+        for k, label in enumerate(labels)
+    ]
+    if baselines_only:
+        return items
+    items.append(
+        WorkItem(
+            index=next_index + len(items),
+            instance=instance,
+            dag=dag,
+            machine=machine,
+            scheduler=PIPELINE_ITEM,
+            pipeline_config=pipeline_config,
+        )
+    )
+    if multilevel_config is not None:
+        items.append(
+            WorkItem(
+                index=next_index + len(items),
+                instance=instance,
+                dag=dag,
+                machine=machine,
+                scheduler=MULTILEVEL_ITEM,
+                multilevel_config=multilevel_config,
+            )
+        )
+    return items
+
+
+def _merge_instance(
+    dag: ComputationalDAG, machine: BspMachine, results: Iterable[WorkItemResult]
+) -> InstanceResult:
+    """Fold the work-item results of one instance, in item-index order."""
+    merged = InstanceResult(dag_name=dag.name, num_nodes=dag.n, machine=machine)
+    for result in sorted(results, key=lambda r: r.index):
+        merged.costs.update(result.costs)
+        if result.best_initializer:
+            merged.best_initializer = result.best_initializer
+            merged.initializer_costs = dict(result.initializer_costs)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The parallel engine
+# ----------------------------------------------------------------------
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count of the experiment engine.
+
+    ``None`` restores the built-in default (the ``REPRO_JOBS`` environment
+    variable, falling back to serial execution).
+    """
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is not None:
+        return max(1, int(jobs))
+    if _DEFAULT_JOBS is not None:
+        return max(1, int(_DEFAULT_JOBS))
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+class ParallelRunner:
+    """Execute work items serially or on a ``multiprocessing`` pool.
+
+    Results are returned in work-item index order no matter in which order
+    workers finish, so aggregate tables are identical for every ``jobs``
+    value.  With a ``checkpoint`` path, every finished item is appended to a
+    JSONL file as it completes (see
+    :class:`repro.experiments.persistence.CheckpointWriter`); with
+    ``resume=True``, items already present in that file are not re-run.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+    ) -> None:
+        self.jobs = _resolve_jobs(jobs)
+        self.checkpoint = checkpoint
+        self.resume = resume
+
+    # ------------------------------------------------------------------
+    def execute(self, items: Sequence[WorkItem]) -> List[WorkItemResult]:
+        """Run all work items; the result list is index-aligned with ``items``."""
+        from .persistence import CheckpointWriter, read_checkpoint
+
+        done: Dict[int, WorkItemResult] = {}
+        if self.resume and self.checkpoint and os.path.exists(self.checkpoint):
+            item_by_index = {item.index: item for item in items}
+            for record in read_checkpoint(self.checkpoint):
+                result = WorkItemResult.from_record(record)
+                item = item_by_index.get(result.index)
+                # Only reuse a record that provably belongs to this run's
+                # work item; records from a different dataset / scheduler
+                # set are ignored and the item is re-run.
+                if item is not None and result.matches(item):
+                    done[result.index] = result
+        pending = [item for item in items if item.index not in done]
+
+        # Without resume an existing checkpoint belongs to a previous run:
+        # start the file fresh instead of appending a second run's records.
+        writer = (
+            CheckpointWriter(self.checkpoint, append=self.resume)
+            if self.checkpoint
+            else None
+        )
+        try:
+            if self.jobs <= 1 or len(pending) <= 1:
+                for item in pending:
+                    result = execute_work_item(item)
+                    done[result.index] = result
+                    if writer is not None:
+                        writer.append(result.as_record())
+            else:
+                ctx = multiprocessing.get_context()
+                with ctx.Pool(processes=min(self.jobs, len(pending))) as pool:
+                    for result in pool.imap_unordered(execute_work_item, pending):
+                        done[result.index] = result
+                        if writer is not None:
+                            writer.append(result.as_record())
+        finally:
+            if writer is not None:
+                writer.close()
+        return [done[item.index] for item in items]
+
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self,
+        dags: Sequence[ComputationalDAG],
+        machine: BspMachine,
+        *,
+        pipeline_config: Optional[PipelineConfig] = None,
+        include_list_baselines: bool = True,
+        include_trivial: bool = True,
+        multilevel_config: Optional[MultilevelConfig] = None,
+        baselines_only: bool = False,
+    ) -> ExperimentResult:
+        """Run the full label set over a dataset and aggregate per instance."""
+        items: List[WorkItem] = []
+        for instance, dag in enumerate(dags):
+            items.extend(
+                _instance_work_items(
+                    instance,
+                    len(items),
+                    dag,
+                    machine,
+                    pipeline_config=pipeline_config,
+                    include_list_baselines=include_list_baselines,
+                    include_trivial=include_trivial,
+                    multilevel_config=multilevel_config,
+                    baselines_only=baselines_only,
+                )
+            )
+        results = self.execute(items)
+        experiment = ExperimentResult(machine_description=machine.describe())
+        for instance, dag in enumerate(dags):
+            experiment.instances.append(
+                _merge_instance(
+                    dag, machine, [r for r in results if r.instance == instance]
+                )
+            )
+        return experiment
+
+
+# ----------------------------------------------------------------------
+# Aggregate API (used by the tables, sweeps and tests)
+# ----------------------------------------------------------------------
 def run_instance(
     dag: ComputationalDAG,
     machine: BspMachine,
@@ -88,33 +480,18 @@ def run_instance(
     baselines_only: bool = False,
 ) -> InstanceResult:
     """Run the baselines (and the framework stages) on a single instance."""
-    costs: Dict[str, float] = {}
-    result = InstanceResult(dag_name=dag.name, num_nodes=dag.n, machine=machine, costs=costs)
-
-    costs["Cilk"] = float(CilkScheduler(seed=0).schedule(dag, machine).cost())
-    costs["HDagg"] = float(HDaggScheduler().schedule(dag, machine).cost())
-    if include_list_baselines:
-        costs["BL-EST"] = float(BlEstScheduler().schedule(dag, machine).cost())
-        costs["ETF"] = float(EtfScheduler().schedule(dag, machine).cost())
-    if include_trivial:
-        costs["Trivial"] = float(TrivialScheduler().schedule(dag, machine).cost())
-    if baselines_only:
-        return result
-
-    pipe = run_pipeline(dag, machine, pipeline_config)
-    costs["Init"] = pipe.init_cost
-    costs["HCcs"] = pipe.local_search_cost
-    costs["ILPpart"] = pipe.ilp_assignment_cost
-    costs["ILP"] = pipe.final_cost
-    result.best_initializer = pipe.best_initializer
-    result.initializer_costs = dict(pipe.initializer_costs)
-
-    if multilevel_config is not None:
-        ml_schedule, per_ratio = multilevel_schedule(dag, machine, multilevel_config)
-        costs["ML"] = float(ml_schedule.cost())
-        for ratio, cost in per_ratio.items():
-            costs[f"ML@{ratio:g}"] = float(cost)
-    return result
+    items = _instance_work_items(
+        0,
+        0,
+        dag,
+        machine,
+        pipeline_config=pipeline_config,
+        include_list_baselines=include_list_baselines,
+        include_trivial=include_trivial,
+        multilevel_config=multilevel_config,
+        baselines_only=baselines_only,
+    )
+    return _merge_instance(dag, machine, [execute_work_item(item) for item in items])
 
 
 def run_experiment(
@@ -125,21 +502,58 @@ def run_experiment(
     include_list_baselines: bool = True,
     multilevel_config: Optional[MultilevelConfig] = None,
     baselines_only: bool = False,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """Run :func:`run_instance` over a dataset and collect the results."""
-    experiment = ExperimentResult(machine_description=machine.describe())
-    for dag in dags:
-        experiment.instances.append(
-            run_instance(
-                dag,
-                machine,
-                pipeline_config=pipeline_config,
-                include_list_baselines=include_list_baselines,
-                multilevel_config=multilevel_config,
-                baselines_only=baselines_only,
-            )
+    """Run :func:`run_instance` over a dataset and collect the results.
+
+    With ``jobs > 1`` (or a matching :func:`set_default_jobs` / ``REPRO_JOBS``
+    default) the work items are executed on a process pool; aggregates are
+    identical to the serial run either way.
+    """
+    runner = ParallelRunner(jobs, checkpoint=checkpoint, resume=resume)
+    return runner.run_experiment(
+        dags,
+        machine,
+        pipeline_config=pipeline_config,
+        include_list_baselines=include_list_baselines,
+        multilevel_config=multilevel_config,
+        baselines_only=baselines_only,
+    )
+
+
+def schedule_many(
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    scheduler_names: Sequence[str],
+    *,
+    jobs: Optional[int] = None,
+) -> List[Tuple[str, BspSchedule]]:
+    """Run several registry schedulers on one instance, keeping the schedules.
+
+    This is the engine entry point used by the command line: each scheduler
+    name is one work item, executed in parallel when ``jobs > 1``, and the
+    checked schedules come back in the order the names were given.
+    """
+    items = [
+        WorkItem(
+            index=k,
+            instance=0,
+            dag=dag,
+            machine=machine,
+            scheduler=name,
+            label=name,
+            keep_schedule=True,
         )
-    return experiment
+        for k, name in enumerate(scheduler_names)
+    ]
+    results = ParallelRunner(jobs).execute(items)
+    out: List[Tuple[str, BspSchedule]] = []
+    for name, result in zip(scheduler_names, results):
+        assert result.schedule is not None
+        out.append((name, result.schedule))
+    return out
 
 
 def stage_ratio_summary(

@@ -7,9 +7,14 @@ node ``v`` carries a *work weight* ``w(v)`` (time to execute ``v``) and a
 another processor).
 
 The class is intentionally lightweight and index-based: nodes are the
-integers ``0 .. n-1``, adjacency is stored as python lists of ints and the
-weights as numpy integer arrays.  All schedulers in this package operate on
-this representation.
+integers ``0 .. n-1`` and the weights are numpy integer arrays.  The
+canonical adjacency representation is a cached CSR (compressed sparse row)
+pair of numpy arrays per direction — ``succ_indptr``/``succ_indices`` and
+``pred_indptr``/``pred_indices`` — kept redundantly alongside plain python
+lists so that both vectorized kernels (local search, cost evaluation) and
+simple per-node loops (generators, ILP construction) get constant-time
+access to the structure they need.  All schedulers in this package operate
+on this representation.
 """
 
 from __future__ import annotations
@@ -86,6 +91,7 @@ class ComputationalDAG:
             raise DagValidationError("node weights must be non-negative")
 
         self._topo_cache: Optional[List[int]] = None
+        self._csr_cache: Optional[Tuple[np.ndarray, ...]] = None
         # Validate acyclicity eagerly so downstream code can rely on it.
         self.topological_order()
 
@@ -144,6 +150,67 @@ class ComputationalDAG:
         return int(np.sum(self.comm))
 
     # ------------------------------------------------------------------
+    # CSR adjacency (the canonical array representation)
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> Tuple[np.ndarray, ...]:
+        if self._csr_cache is None:
+            m = len(self.edges)
+            edge_u = np.fromiter((e[0] for e in self.edges), dtype=np.int64, count=m)
+            edge_v = np.fromiter((e[1] for e in self.edges), dtype=np.int64, count=m)
+            succ_indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(edge_u, minlength=self.n), out=succ_indptr[1:])
+            # ``edges`` is sorted by (u, v), so the target column already is
+            # the successor index array; predecessors need a stable sort by v.
+            succ_indices = edge_v
+            pred_indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(edge_v, minlength=self.n), out=pred_indptr[1:])
+            pred_indices = edge_u[np.argsort(edge_v, kind="stable")]
+            self._csr_cache = (
+                succ_indptr, succ_indices, pred_indptr, pred_indices, edge_u, edge_v,
+            )
+        return self._csr_cache
+
+    @property
+    def succ_indptr(self) -> np.ndarray:
+        """CSR row pointers of the successor adjacency (length ``n + 1``)."""
+        return self._build_csr()[0]
+
+    @property
+    def succ_indices(self) -> np.ndarray:
+        """CSR column indices of the successor adjacency (length ``m``)."""
+        return self._build_csr()[1]
+
+    @property
+    def pred_indptr(self) -> np.ndarray:
+        """CSR row pointers of the predecessor adjacency (length ``n + 1``)."""
+        return self._build_csr()[2]
+
+    @property
+    def pred_indices(self) -> np.ndarray:
+        """CSR column indices of the predecessor adjacency (length ``m``)."""
+        return self._build_csr()[3]
+
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Source endpoint of every edge, aligned with :attr:`edge_targets`."""
+        return self._build_csr()[4]
+
+    @property
+    def edge_targets(self) -> np.ndarray:
+        """Target endpoint of every edge, aligned with :attr:`edge_sources`."""
+        return self._build_csr()[5]
+
+    def successors_array(self, v: int) -> np.ndarray:
+        """Direct successors of ``v`` as a numpy array view (CSR slice)."""
+        indptr, indices = self._build_csr()[0], self._build_csr()[1]
+        return indices[indptr[v]:indptr[v + 1]]
+
+    def predecessors_array(self, v: int) -> np.ndarray:
+        """Direct predecessors of ``v`` as a numpy array view (CSR slice)."""
+        csr = self._build_csr()
+        return csr[3][csr[2][v]:csr[2][v + 1]]
+
+    # ------------------------------------------------------------------
     # Orderings and structural queries
     # ------------------------------------------------------------------
     def topological_order(self) -> List[int]:
@@ -170,12 +237,32 @@ class ComputationalDAG:
         return list(order)
 
     def node_levels(self) -> np.ndarray:
-        """Level (longest edge-count distance from any source) for each node."""
+        """Level (longest edge-count distance from any source) for each node.
+
+        Computed wavefront-by-wavefront on the CSR adjacency: a node's level
+        is the index of the wave in which its last predecessor completes.
+        """
         levels = np.zeros(self.n, dtype=np.int64)
-        for v in self.topological_order():
-            for u in self._parents[v]:
-                if levels[u] + 1 > levels[v]:
-                    levels[v] = levels[u] + 1
+        if self.n == 0 or self.num_edges == 0:
+            return levels
+        indptr, indices = self.succ_indptr, self.succ_indices
+        indeg = np.diff(self.pred_indptr).copy()
+        frontier = np.nonzero(indeg == 0)[0]
+        level = 0
+        while frontier.size:
+            levels[frontier] = level
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather the concatenated successor lists of the whole frontier.
+            offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+            succ = indices[np.arange(total, dtype=np.int64) + offsets]
+            np.subtract.at(indeg, succ, 1)
+            ready = np.unique(succ)
+            frontier = ready[indeg[ready] == 0]
+            level += 1
         return levels
 
     def depth(self) -> int:
@@ -186,13 +273,12 @@ class ComputationalDAG:
 
     def level_sets(self) -> List[List[int]]:
         """Nodes grouped by :meth:`node_levels` (the DAG "wavefronts")."""
-        levels = self.node_levels()
         if self.n == 0:
             return []
-        sets: List[List[int]] = [[] for _ in range(int(levels.max()) + 1)]
-        for v in range(self.n):
-            sets[int(levels[v])].append(v)
-        return sets
+        levels = self.node_levels()
+        order = np.argsort(levels, kind="stable")
+        bounds = np.searchsorted(levels[order], np.arange(int(levels.max()) + 2))
+        return [order[bounds[k]:bounds[k + 1]].tolist() for k in range(len(bounds) - 1)]
 
     def bottom_level(self) -> np.ndarray:
         """Bottom level of each node: the maximum total work on any path
@@ -201,21 +287,46 @@ class ComputationalDAG:
         This is the classical list-scheduling priority used by BL-EST.
         """
         bl = np.array(self.work, dtype=np.int64).copy()
-        for v in reversed(self.topological_order()):
-            if self._children[v]:
-                best = max(bl[w] for w in self._children[v])
-                bl[v] = self.work[v] + best
+        if self.num_edges == 0:
+            return bl
+        # Relax all edges one source-level at a time (deepest sources first):
+        # within a level no edge connects two sources, so a vectorized
+        # scatter-max per level is exact.
+        eu, ev = self.edge_sources, self.edge_targets
+        src_level = self.node_levels()[eu]
+        order = np.argsort(src_level, kind="stable")
+        eu, ev, src_level = eu[order], ev[order], src_level[order]
+        bounds = np.searchsorted(src_level, np.arange(int(src_level.max()) + 2))
+        best = np.full(self.n, -1, dtype=np.int64)
+        for k in range(len(bounds) - 2, -1, -1):
+            lo, hi = bounds[k], bounds[k + 1]
+            if lo == hi:
+                continue
+            us = eu[lo:hi]
+            np.maximum.at(best, us, bl[ev[lo:hi]])
+            touched = np.unique(us)
+            bl[touched] = self.work[touched] + best[touched]
+            best[touched] = -1
         return bl
 
     def top_level(self) -> np.ndarray:
         """Top level of each node: maximum total work on any path ending at
         the node, excluding the node itself."""
         tl = np.zeros(self.n, dtype=np.int64)
-        for v in self.topological_order():
-            for u in self._parents[v]:
-                cand = tl[u] + self.work[u]
-                if cand > tl[v]:
-                    tl[v] = cand
+        if self.num_edges == 0:
+            return tl
+        eu, ev = self.edge_sources, self.edge_targets
+        dst_level = self.node_levels()[ev]
+        order = np.argsort(dst_level, kind="stable")
+        eu, ev, dst_level = eu[order], ev[order], dst_level[order]
+        offset = int(dst_level.min())
+        bounds = np.searchsorted(dst_level, np.arange(offset, int(dst_level.max()) + 2))
+        work = np.asarray(self.work, dtype=np.int64)
+        for k in range(len(bounds) - 1):
+            lo, hi = bounds[k], bounds[k + 1]
+            if lo == hi:
+                continue
+            np.maximum.at(tl, ev[lo:hi], tl[eu[lo:hi]] + work[eu[lo:hi]])
         return tl
 
     def critical_path_work(self) -> int:

@@ -92,19 +92,15 @@ def simulated_annealing(
         if not moves:
             continue
         _, p, s = moves[int(rng.integers(len(moves)))]
-        old_p, old_s = int(state.proc[v]), int(state.step[v])
-        current_cost = state.total_cost
-        new_cost = state.apply_move(v, p, s)
+        delta = state.move_delta(v, p, s)
         evaluated += 1
-        delta = new_cost - current_cost
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            new_cost = state.apply_move(v, p, s)
             accepted += 1
             if new_cost < best_cost - 1e-12:
                 best_cost = float(new_cost)
                 best_proc = state.proc.copy()
                 best_step = state.step.copy()
-        else:
-            state.apply_move(v, old_p, old_s)
         temperature *= cooling
 
     best = BspSchedule(schedule.dag, schedule.machine, best_proc, best_step).normalized()

@@ -29,7 +29,12 @@ _EPS = 1e-9
 
 
 class CommScheduleState:
-    """Incremental h-relation cost state for the communication subproblem."""
+    """Incremental h-relation cost state for the communication subproblem.
+
+    Like :class:`~repro.localsearch.state.LocalSearchState`, the state lives
+    in flat numpy ``(S, P)`` send / receive matrices with a per-superstep
+    cost vector on top; construction and refresh are vectorized.
+    """
 
     def __init__(self, schedule: BspSchedule) -> None:
         self.schedule = schedule
@@ -38,6 +43,9 @@ class CommScheduleState:
         self.P = self.machine.P
         self.g = float(self.machine.g)
         self.numa = self.machine.numa
+        self._numa_list = np.asarray(self.numa, dtype=np.float64).tolist()
+        self._comm_list = np.asarray(self.dag.comm, dtype=np.float64).tolist()
+        self._proc_list = np.asarray(schedule.proc, dtype=np.int64).tolist()
         self.S = schedule.num_supersteps
 
         # Required transfers with their allowed window [tau(u), first_need - 1].
@@ -56,7 +64,7 @@ class CommScheduleState:
         if explicit is not None:
             direct: Dict[Tuple[int, int], int] = {}
             for (v, p1, p2, s) in explicit:
-                if p1 == int(schedule.proc[v]) and p2 != p1:
+                if p1 == self._proc_list[v] and p2 != p1:
                     key = (v, p2)
                     if key in self.window and self.window[key][0] <= s <= self.window[key][1]:
                         direct[key] = min(s, direct.get(key, s))
@@ -69,17 +77,21 @@ class CommScheduleState:
 
         self.send = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
         self.recv = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
-        for (u, q), s in self.current.items():
-            self._add(u, q, s, +1.0)
-        self.step_comm = np.zeros(max(self.S, 1), dtype=np.float64)
-        for s in range(self.S):
-            self.step_comm[s] = self._step_cost(s)
+        if self.current:
+            u_arr = np.fromiter((k[0] for k in self.current), dtype=np.int64, count=len(self.current))
+            q_arr = np.fromiter((k[1] for k in self.current), dtype=np.int64, count=len(self.current))
+            s_arr = np.fromiter(self.current.values(), dtype=np.int64, count=len(self.current))
+            p_from = np.asarray(schedule.proc)[u_arr]
+            volumes = self.dag.comm[u_arr].astype(np.float64) * self.numa[p_from, q_arr]
+            np.add.at(self.send, (s_arr, p_from), volumes)
+            np.add.at(self.recv, (s_arr, q_arr), volumes)
+        self.step_comm = np.maximum(self.send, self.recv).max(axis=1)
         self.comm_total = float(self.step_comm.sum())
 
     # ------------------------------------------------------------------
     def _add(self, u: int, q: int, s: int, sign: float) -> None:
-        p_from = int(self.schedule.proc[u])
-        volume = float(self.dag.comm[u]) * float(self.numa[p_from, q]) * sign
+        p_from = self._proc_list[u]
+        volume = self._comm_list[u] * self._numa_list[p_from][q] * sign
         self.send[s, p_from] += volume
         self.recv[s, q] += volume
 
@@ -87,10 +99,10 @@ class CommScheduleState:
         return max(float(self.send[s].max()), float(self.recv[s].max()))
 
     def _refresh(self, steps) -> None:
-        for s in set(steps):
-            new = self._step_cost(s)
-            self.comm_total += new - self.step_comm[s]
-            self.step_comm[s] = new
+        rows = np.unique(np.fromiter(steps, dtype=np.int64))
+        new = np.maximum(self.send[rows], self.recv[rows]).max(axis=1)
+        self.comm_total += float(new.sum() - self.step_comm[rows].sum())
+        self.step_comm[rows] = new
 
     def move(self, u: int, q: int, new_step: int) -> float:
         """Reschedule the transfer ``u -> q`` to ``new_step``; return new h-cost sum."""

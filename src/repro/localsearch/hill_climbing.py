@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..model.schedule import BspSchedule
 from .state import LocalSearchState
 
@@ -90,29 +92,22 @@ def hill_climb(
         for v in range(state.dag.n):
             if out_of_budget():
                 break
-            current_cost = state.total_cost
-            old_proc, old_step = int(state.proc[v]), int(state.step[v])
+            moves = state.candidate_moves(v)
+            if not moves:
+                continue
+            deltas = state.move_deltas(v, moves)
             if variant == "first":
-                for (node, p, s) in state.candidate_moves(v):
-                    new_cost = state.apply_move(node, p, s)
-                    if new_cost < current_cost - _EPS:
-                        moves_applied += 1
-                        improved_any = True
-                        break
-                    state.apply_move(node, old_proc, old_step)
+                improving = np.nonzero(deltas < -_EPS)[0]
+                chosen = int(improving[0]) if improving.size else None
             else:
-                best_move = None
-                best_cost = current_cost
-                for (node, p, s) in state.candidate_moves(v):
-                    new_cost = state.apply_move(node, p, s)
-                    state.apply_move(node, old_proc, old_step)
-                    if new_cost < best_cost - _EPS:
-                        best_cost = new_cost
-                        best_move = (p, s)
-                if best_move is not None:
-                    state.apply_move(v, best_move[0], best_move[1])
-                    moves_applied += 1
-                    improved_any = True
+                chosen = int(np.argmin(deltas))
+                if deltas[chosen] >= -_EPS:
+                    chosen = None
+            if chosen is not None:
+                _, p, s = moves[chosen]
+                state.apply_move(v, p, s)
+                moves_applied += 1
+                improved_any = True
     reached_local_optimum = not improved_any
 
     final = state.to_schedule()

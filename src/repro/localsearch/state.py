@@ -3,29 +3,38 @@
 The paper's HC algorithm (Section 4.3, Appendix A.3) relies on data
 structures that allow the cost change of a candidate move to be evaluated
 without recomputing the whole schedule cost.  This module provides that
-state for schedules with a *lazy* communication schedule:
+state for schedules with a *lazy* communication schedule, kept entirely in
+flat numpy arrays (the Dask-scheduler idiom: redundant, constant-time
+structures owned by one kernel layer):
 
-* per-superstep, per-processor work / send / receive matrices,
-* for every node ``u`` and processor ``p``, the multiset of supersteps of
-  ``u``'s successors assigned to ``p`` — whose minimum determines the
-  (lazy) communication step of the transfer ``u -> p``,
+* per-superstep, per-processor work / send / receive matrices (the same
+  matrices :mod:`repro.model.cost` evaluates — both layers go through
+  :func:`repro.model.cost.superstep_matrices` and
+  :func:`repro.model.cost.superstep_row_costs`, so the cost formula has a
+  single source of truth),
+* dense ``(n, P)`` tables ``succ_min`` / ``succ_min_cnt`` / ``succ_cnt``
+  holding, for every node ``u`` and processor ``p``, the earliest superstep
+  of a successor of ``u`` on ``p``, how many successors sit at that earliest
+  step and how many successors are on ``p`` in total — which is exactly the
+  information needed to maintain the (lazy) communication step of every
+  transfer ``u -> p`` in O(1) per move (with an occasional CSR rescan when
+  the minimum disappears),
 * the per-superstep cost contributions and their running total.
 
-Moves are applied with :meth:`LocalSearchState.apply_move`, which updates
-only the affected rows and returns the new total cost; a rejected move is
-reverted by applying the inverse move.  This "apply, inspect, maybe revert"
-protocol keeps the implementation simple while still touching only the
-supersteps affected by the move.
+Moves are applied with :meth:`LocalSearchState.apply_move`; candidate moves
+are probed with :meth:`LocalSearchState.move_delta`, which computes the cost
+change and leaves the state unchanged.  Both the hill-climbing variants and
+simulated annealing share these two entry points.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.dag import ComputationalDAG
+from ..model.cost import superstep_matrices, superstep_row_costs
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
 
@@ -33,6 +42,11 @@ __all__ = ["LocalSearchState", "Move"]
 
 Move = Tuple[int, int, int]
 """A candidate move ``(node, new_processor, new_superstep)``."""
+
+#: Sentinel for "no successor of u on p" in the ``succ_min`` table.  Large
+#: enough to never be a real superstep, small enough that ``_INF - 1`` does
+#: not overflow int64 arithmetic.
+_NO_STEP = np.iinfo(np.int64).max // 4
 
 
 class LocalSearchState:
@@ -45,42 +59,60 @@ class LocalSearchState:
     def __init__(self, schedule: BspSchedule) -> None:
         self.dag: ComputationalDAG = schedule.dag
         self.machine: BspMachine = schedule.machine
-        self.proc = schedule.proc.copy()
-        self.step = schedule.step.copy()
+        self.proc = np.asarray(schedule.proc, dtype=np.int64).copy()
+        self.step = np.asarray(schedule.step, dtype=np.int64).copy()
         n = self.dag.n
         self.P = self.machine.P
         self.g = float(self.machine.g)
         self.l = float(self.machine.l)
-        self.numa = self.machine.numa
+        self.numa = np.asarray(self.machine.numa, dtype=np.float64)
+
+        # CSR adjacency views and float weight arrays used on the hot path.
+        self._succ_indptr = self.dag.succ_indptr
+        self._succ_indices = self.dag.succ_indices
+        self._pred_indptr = self.dag.pred_indptr
+        self._pred_indices = self.dag.pred_indices
+        self._work_of = np.asarray(self.dag.work, dtype=np.float64)
+        self._comm_of = np.asarray(self.dag.comm, dtype=np.float64)
+        # Plain-python mirrors for scalar hot-loop lookups (a numpy scalar
+        # index costs ~10x a list index).
+        self._work_list = self._work_of.tolist()
+        self._comm_list = self._comm_of.tolist()
+        self._numa_list = self.numa.tolist()
 
         max_step = int(self.step.max()) if n else 0
         self.S = max_step + 1 + self._SLACK
-        self.work = np.zeros((self.S, self.P), dtype=np.float64)
-        self.send = np.zeros((self.S, self.P), dtype=np.float64)
-        self.recv = np.zeros((self.S, self.P), dtype=np.float64)
 
-        # succ_steps[u][p] is a Counter mapping superstep -> how many
-        # successors of u are assigned to processor p in that superstep.
-        self.succ_steps: List[List[Counter]] = [
-            [Counter() for _ in range(self.P)] for _ in range(n)
-        ]
+        # The (S, P) matrices come from the same code path as model.cost:
+        # the lazy-communication matrices of the current assignment.
+        lazy = BspSchedule(self.dag, self.machine, self.proc, self.step)
+        work, send, recv = superstep_matrices(lazy)
+        pad = self.S - work.shape[0]
+        self.work = np.vstack([work, np.zeros((pad, self.P))])
+        self.send = np.vstack([send, np.zeros((pad, self.P))])
+        self.recv = np.vstack([recv, np.zeros((pad, self.P))])
 
-        for v in range(n):
-            self.work[self.step[v], self.proc[v]] += float(self.dag.work[v])
-        for (u, v) in self.dag.edges:
-            self.succ_steps[u][self.proc[v]][int(self.step[v])] += 1
+        # Dense successor-step tables replacing the per-(node, processor)
+        # Counter multisets of earlier revisions.  They are built vectorized
+        # but kept as plain nested python lists afterwards: every hot-path
+        # access is a scalar read/write, which python lists serve ~10x
+        # faster than numpy fancy scalar indexing.
+        succ_min = np.full((n, self.P), _NO_STEP, dtype=np.int64)
+        succ_min_cnt = np.zeros((n, self.P), dtype=np.int64)
+        succ_cnt = np.zeros((n, self.P), dtype=np.int64)
+        if self.dag.num_edges:
+            eu = self.dag.edge_sources
+            pv = self.proc[self.dag.edge_targets]
+            sv = self.step[self.dag.edge_targets]
+            np.add.at(succ_cnt, (eu, pv), 1)
+            np.minimum.at(succ_min, (eu, pv), sv)
+            at_min = sv == succ_min[eu, pv]
+            np.add.at(succ_min_cnt, (eu[at_min], pv[at_min]), 1)
+        self.succ_min: List[List[int]] = succ_min.tolist()
+        self.succ_min_cnt: List[List[int]] = succ_min_cnt.tolist()
+        self.succ_cnt: List[List[int]] = succ_cnt.tolist()
 
-        for u in range(n):
-            for p in range(self.P):
-                if p == self.proc[u]:
-                    continue
-                needed = self._needed_step(u, p)
-                if needed is not None:
-                    self._add_comm(u, int(self.proc[u]), p, needed - 1, +1.0)
-
-        self.step_cost = np.zeros(self.S, dtype=np.float64)
-        for s in range(self.S):
-            self.step_cost[s] = self._compute_step_cost(s)
+        self.step_cost = superstep_row_costs(self.work, self.send, self.recv, self.g, self.l)
         self.total_cost = float(self.step_cost.sum())
 
     # ------------------------------------------------------------------
@@ -88,34 +120,52 @@ class LocalSearchState:
     # ------------------------------------------------------------------
     def _needed_step(self, u: int, p: int) -> Optional[int]:
         """Earliest superstep in which a successor of ``u`` on ``p`` runs."""
-        counter = self.succ_steps[u][p]
-        if not counter:
-            return None
-        return min(counter)
+        m = self.succ_min[u][p]
+        return None if m >= _NO_STEP else m
 
-    def _add_comm(self, u: int, p_from: int, p_to: int, s: int, sign: float) -> None:
-        """Add/remove the lazy transfer of ``u`` from ``p_from`` to ``p_to`` at step ``s``."""
-        if p_from == p_to:
+    def _succ_inc(self, u: int, p: int, s: int) -> None:
+        """Record one more successor of ``u`` on processor ``p`` at step ``s``."""
+        self.succ_cnt[u][p] += 1
+        m = self.succ_min[u][p]
+        if s < m:
+            self.succ_min[u][p] = s
+            self.succ_min_cnt[u][p] = 1
+        elif s == m:
+            self.succ_min_cnt[u][p] += 1
+
+    def _succ_dec(self, u: int, p: int, s: int) -> None:
+        """Remove one successor of ``u`` on processor ``p`` at step ``s``.
+
+        When the last successor at the current minimum disappears the new
+        minimum is recovered by a CSR rescan of ``u``'s successor list; that
+        scan must therefore run *after* ``proc``/``step`` reflect the move.
+        """
+        self.succ_cnt[u][p] -= 1
+        if s != self.succ_min[u][p]:
             return
-        volume = float(self.dag.comm[u]) * float(self.numa[p_from, p_to]) * sign
-        self.send[s, p_from] += volume
-        self.recv[s, p_to] += volume
-
-    def _compute_step_cost(self, s: int) -> float:
-        work_row = self.work[s]
-        send_row = self.send[s]
-        recv_row = self.recv[s]
-        w = float(work_row.max()) if self.P else 0.0
-        h = max(float(send_row.max()), float(recv_row.max())) if self.P else 0.0
-        occurs = (work_row.sum() > 1e-12) or (send_row.sum() > 1e-12) or (recv_row.sum() > 1e-12)
-        return w + self.g * h + (self.l if occurs else 0.0)
+        cnt = self.succ_min_cnt[u][p] - 1
+        if cnt > 0:
+            self.succ_min_cnt[u][p] = cnt
+        elif self.succ_cnt[u][p] == 0:
+            self.succ_min[u][p] = _NO_STEP
+            self.succ_min_cnt[u][p] = 0
+        else:
+            children = self._succ_indices[self._succ_indptr[u]:self._succ_indptr[u + 1]]
+            steps = self.step[children[self.proc[children] == p]]
+            new_min = int(steps.min())
+            self.succ_min[u][p] = new_min
+            self.succ_min_cnt[u][p] = int((steps == new_min).sum())
 
     def _refresh_steps(self, steps: Iterable[int]) -> None:
-        for s in set(steps):
-            if 0 <= s < self.S:
-                new = self._compute_step_cost(s)
-                self.total_cost += new - self.step_cost[s]
-                self.step_cost[s] = new
+        rows = np.unique(np.fromiter(steps, dtype=np.int64))
+        rows = rows[(rows >= 0) & (rows < self.S)]
+        if rows.size == 0:
+            return
+        new = superstep_row_costs(
+            self.work[rows], self.send[rows], self.recv[rows], self.g, self.l
+        )
+        self.total_cost += float(new.sum() - self.step_cost[rows].sum())
+        self.step_cost[rows] = new
 
     def _ensure_capacity(self, s: int) -> None:
         if s < self.S:
@@ -130,6 +180,33 @@ class LocalSearchState:
     # ------------------------------------------------------------------
     # Move validity
     # ------------------------------------------------------------------
+    def _step_bounds(self, v: int) -> Tuple[List[int], List[int]]:
+        """Per-processor bounds ``lo[p] <= new_step <= hi[p]`` for moving ``v``.
+
+        A predecessor on the target processor allows equality, any other
+        predecessor forces strict inequality; symmetrically for successors.
+        """
+        P = self.P
+        lo = [0] * P
+        hi = [_NO_STEP] * P
+        for u in self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist():
+            su = int(self.step[u])
+            pu = int(self.proc[u])
+            strict = su + 1
+            for p in range(P):
+                bound = su if p == pu else strict
+                if bound > lo[p]:
+                    lo[p] = bound
+        for w in self._succ_indices[self._succ_indptr[v]:self._succ_indptr[v + 1]].tolist():
+            sw = int(self.step[w])
+            pw = int(self.proc[w])
+            strict = sw - 1
+            for p in range(P):
+                bound = sw if p == pw else strict
+                if bound < hi[p]:
+                    hi[p] = bound
+        return lo, hi
+
     def is_move_valid(self, v: int, new_proc: int, new_step: int) -> bool:
         """Check whether moving ``v`` keeps the (lazy-comm) schedule valid.
 
@@ -141,49 +218,37 @@ class LocalSearchState:
             return False
         if new_proc == self.proc[v] and new_step == self.step[v]:
             return False
-        for u in self.dag.parents(v):
-            if int(self.proc[u]) == new_proc:
-                if int(self.step[u]) > new_step:
-                    return False
-            else:
-                if int(self.step[u]) >= new_step:
-                    return False
-        for w in self.dag.children(v):
-            if int(self.proc[w]) == new_proc:
-                if new_step > int(self.step[w]):
-                    return False
-            else:
-                if new_step >= int(self.step[w]):
-                    return False
-        return True
+        lo, hi = self._step_bounds(v)
+        return lo[new_proc] <= new_step <= hi[new_proc]
 
     def candidate_moves(self, v: int) -> List[Move]:
         """All valid moves of ``v`` to any processor in supersteps s-1, s, s+1."""
         s = int(self.step[v])
+        p0 = int(self.proc[v])
+        lo, hi = self._step_bounds(v)
         moves: List[Move] = []
         for target_step in (s - 1, s, s + 1):
+            if target_step < 0:
+                continue
             for p in range(self.P):
-                if self.is_move_valid(v, p, target_step):
+                if lo[p] <= target_step <= hi[p] and not (target_step == s and p == p0):
                     moves.append((v, p, target_step))
         return moves
 
     # ------------------------------------------------------------------
     # Applying moves
     # ------------------------------------------------------------------
-    def apply_move(self, v: int, new_proc: int, new_step: int) -> float:
-        """Apply the move and return the new total cost.
-
-        The caller is responsible for only applying valid moves (see
-        :meth:`is_move_valid`); to revert, apply the inverse move with the
-        node's previous processor and superstep.
-        """
+    def _apply_raw(self, v: int, new_proc: int, new_step: int, touched: List[int]) -> None:
+        """Update all matrices and tables for the move, without refreshing
+        the per-step costs; affected superstep rows are appended to
+        ``touched``."""
         old_proc = int(self.proc[v])
         old_step = int(self.step[v])
-        self._ensure_capacity(new_step)
-        touched: Set[int] = {old_step, new_step}
+        touched.append(old_step)
+        touched.append(new_step)
 
         # --- work matrix -------------------------------------------------
-        w_v = float(self.dag.work[v])
+        w_v = self._work_list[v]
         self.work[old_step, old_proc] -= w_v
         self.work[new_step, new_proc] += w_v
 
@@ -192,53 +257,255 @@ class LocalSearchState:
         # but the source processor (and hence the NUMA weight and the sending
         # processor's load) does, and targets equal to the old/new processor
         # appear/disappear.
-        for p in range(self.P):
-            needed = self._needed_step(v, p)
-            if needed is None:
+        c_v = self._comm_list[v]
+        numa = self._numa_list
+        needed_row = self.succ_min[v]
+        for q in range(self.P):
+            nd = needed_row[q]
+            if nd >= _NO_STEP:
                 continue
-            if p != old_proc:
-                self._add_comm(v, old_proc, p, needed - 1, -1.0)
-                touched.add(needed - 1)
-            if p != new_proc:
-                self._add_comm(v, new_proc, p, needed - 1, +1.0)
-                touched.add(needed - 1)
+            row = nd - 1
+            if q != old_proc:
+                volume = c_v * numa[old_proc][q]
+                self.send[row, old_proc] -= volume
+                self.recv[row, q] -= volume
+                touched.append(row)
+            if q != new_proc:
+                volume = c_v * numa[new_proc][q]
+                self.send[row, new_proc] += volume
+                self.recv[row, q] += volume
+                touched.append(row)
 
-        # --- incoming transfers (v as a consumer of its predecessors) ------
-        for u in self.dag.parents(v):
-            pu = int(self.proc[u])
-            # The only target processors whose "first needed" superstep can
-            # change are v's old and new processor (a single set entry when
-            # the move only changes the superstep).
-            affected_targets = {old_proc, new_proc}
-            old_needed = {q: self._needed_step(u, q) for q in affected_targets}
-            self.succ_steps[u][old_proc][old_step] -= 1
-            if self.succ_steps[u][old_proc][old_step] == 0:
-                del self.succ_steps[u][old_proc][old_step]
-            self.succ_steps[u][new_proc][new_step] += 1
-            for q in affected_targets:
-                if q == pu:
-                    continue
-                new_needed = self._needed_step(u, q)
-                if old_needed[q] == new_needed:
-                    continue
-                if old_needed[q] is not None:
-                    self._add_comm(u, pu, q, old_needed[q] - 1, -1.0)
-                    touched.add(old_needed[q] - 1)
-                if new_needed is not None:
-                    self._add_comm(u, pu, q, new_needed - 1, +1.0)
-                    touched.add(new_needed - 1)
-
+        # Commit v's new position before touching the successor tables of its
+        # parents: the rescan inside _succ_dec reads proc/step and must see
+        # the post-move assignment.
         self.proc[v] = new_proc
         self.step[v] = new_step
+
+        # --- incoming transfers (v as a consumer of its predecessors) ------
+        # The only target processors whose "first needed" superstep can
+        # change are v's old and new processor.
+        targets = (old_proc,) if new_proc == old_proc else (old_proc, new_proc)
+        for u in self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist():
+            pu = int(self.proc[u])
+            min_row = self.succ_min[u]
+            old_needed = [min_row[q] for q in targets]
+            if new_proc == old_proc:
+                # Same-processor step change: add before remove so that a
+                # rescan triggered by the removal sees the final multiset.
+                self._succ_inc(u, new_proc, new_step)
+                self._succ_dec(u, old_proc, old_step)
+            else:
+                self._succ_dec(u, old_proc, old_step)
+                self._succ_inc(u, new_proc, new_step)
+            for q, was_needed in zip(targets, old_needed):
+                if q == pu:
+                    continue
+                now_needed = min_row[q]
+                if was_needed == now_needed:
+                    continue
+                volume = self._comm_list[u] * numa[pu][q]
+                if was_needed < _NO_STEP:
+                    self.send[was_needed - 1, pu] -= volume
+                    self.recv[was_needed - 1, q] -= volume
+                    touched.append(was_needed - 1)
+                if now_needed < _NO_STEP:
+                    self.send[now_needed - 1, pu] += volume
+                    self.recv[now_needed - 1, q] += volume
+                    touched.append(now_needed - 1)
+
+    def apply_move(self, v: int, new_proc: int, new_step: int) -> float:
+        """Apply the move and return the new total cost.
+
+        The caller is responsible for only applying valid moves (see
+        :meth:`is_move_valid`); to revert, apply the inverse move with the
+        node's previous processor and superstep.
+        """
+        self._ensure_capacity(new_step)
+        touched: List[int] = []
+        self._apply_raw(v, new_proc, new_step, touched)
         self._refresh_steps(touched)
         return self.total_cost
 
+    def move_deltas(self, v: int, moves: Sequence[Move]) -> np.ndarray:
+        """Cost changes of several candidate moves of ``v``, state unchanged.
+
+        This is the vectorized probe at the heart of the local searches: the
+        contribution of ``v`` at its current position is removed once (it is
+        shared by every candidate), each candidate's additions are written
+        into a ``(K, rows, P)`` tensor of the affected superstep rows, and
+        all row costs are then evaluated in a single vectorized pass.  All
+        ``moves`` must be valid moves of the same node ``v`` (e.g. the output
+        of :meth:`candidate_moves`).
+        """
+        if not moves:
+            return np.zeros(0, dtype=np.float64)
+        p0 = int(self.proc[v])
+        s0 = int(self.step[v])
+        self._ensure_capacity(max(m[2] for m in moves))
+        parents = self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist()
+        proc_of = {u: int(self.proc[u]) for u in parents}
+        numa = self._numa_list
+        w_v = self._work_list[v]
+        c_v = self._comm_list[v]
+
+        # Targets of v's own outgoing transfers (independent of v's position).
+        needed_row = self.succ_min[v]
+        P = self.P
+        out_q = [q for q in range(P) if needed_row[q] < _NO_STEP]
+        out_rows = [needed_row[q] - 1 for q in out_q]
+
+        # --- phase 1: virtually remove v from the successor tables --------
+        # The sentinel step keeps a _succ_dec rescan from seeing v at s0.
+        # Phases 2-3 run under try/finally so that even a probe of an
+        # invalid move (a precondition violation) cannot leave the tables
+        # in the "v removed" state.
+        old_nd_p0 = {}
+        self.step[v] = _NO_STEP
+        for u in parents:
+            old_nd_p0[u] = self.succ_min[u][p0]
+            self._succ_dec(u, p0, s0)
+        try:
+            return self._move_deltas_removed(
+                v, moves, p0, s0, parents, proc_of, numa, w_v, c_v, out_q, out_rows,
+                old_nd_p0,
+            )
+        finally:
+            # --- phase 4: restore the successor tables ---------------------
+            for u in parents:
+                self._succ_inc(u, p0, s0)
+            self.step[v] = s0
+
+    def _move_deltas_removed(
+        self, v, moves, p0, s0, parents, proc_of, numa, w_v, c_v, out_q, out_rows,
+        old_nd_p0,
+    ) -> np.ndarray:
+        """Phases 2-5 of :meth:`move_deltas`, with v's contribution removed."""
+        P = self.P
+        # --- collect every superstep row any candidate can touch ----------
+        cand_procs = {m[1] for m in moves}
+        cand_procs.add(p0)
+        rows = {s0}
+        rows.update(out_rows)
+        for (_, _, s) in moves:
+            rows.add(s)
+            rows.add(s - 1)
+        base_nd: dict = {}
+        for u in parents:
+            if old_nd_p0[u] < _NO_STEP:
+                rows.add(old_nd_p0[u] - 1)
+            min_row = self.succ_min[u]
+            for p in cand_procs:
+                nd = min_row[p]
+                base_nd[(u, p)] = nd
+                if nd < _NO_STEP:
+                    rows.add(nd - 1)
+        rows_sorted = sorted(r for r in rows if 0 <= r < self.S)
+        nR = len(rows_sorted)
+        R = np.fromiter(rows_sorted, dtype=np.int64, count=nR)
+        ridx = dict(zip(rows_sorted, range(nR)))
+
+        # Fancy indexing already copies the selected rows.
+        base_work = self.work[R]
+        base_send = self.send[R]
+        base_recv = self.recv[R]
+
+        # --- phase 2: shared removal deltas --------------------------------
+        base_work[ridx[s0], p0] -= w_v
+        for q, row in zip(out_q, out_rows):
+            if q == p0:
+                continue
+            volume = c_v * numa[p0][q]
+            base_send[ridx[row], p0] -= volume
+            base_recv[ridx[row], q] -= volume
+        for u in parents:
+            pu = proc_of[u]
+            if pu == p0:
+                continue
+            nd_old, nd_new = old_nd_p0[u], base_nd[(u, p0)]
+            if nd_old == nd_new:
+                continue
+            volume = self._comm_list[u] * numa[pu][p0]
+            if nd_old < _NO_STEP:
+                base_send[ridx[nd_old - 1], pu] -= volume
+                base_recv[ridx[nd_old - 1], p0] -= volume
+            if nd_new < _NO_STEP:
+                base_send[ridx[nd_new - 1], pu] += volume
+                base_recv[ridx[nd_new - 1], p0] += volume
+
+        # --- phase 3: per-candidate addition deltas ------------------------
+        # Deltas are gathered as flat (k, row, proc) coordinates and applied
+        # with one scatter-add per matrix: python list appends are an order
+        # of magnitude cheaper than scalar writes into a 3-d numpy tensor,
+        # and at typical candidate counts (K <= 3P) this beats a fully
+        # numpy-side formulation whose per-call overhead dominates.
+        K = len(moves)
+        work_t = np.repeat(base_work[None], K, axis=0)
+        send_t = np.repeat(base_send[None], K, axis=0)
+        recv_t = np.repeat(base_recv[None], K, axis=0)
+        w_idx: List[int] = []
+        s_idx: List[int] = []
+        s_val: List[float] = []
+        r_idx: List[int] = []
+        r_val: List[float] = []
+        stride = nR * P
+        for k, (_, p, s) in enumerate(moves):
+            flat = k * stride
+            w_idx.append(flat + ridx[s] * P + p)
+            for q, row in zip(out_q, out_rows):
+                if q == p:
+                    continue
+                volume = c_v * numa[p][q]
+                cell = flat + ridx[row] * P
+                s_idx.append(cell + p)
+                s_val.append(volume)
+                r_idx.append(cell + q)
+                r_val.append(volume)
+            for u in parents:
+                pu = proc_of[u]
+                if p == pu:
+                    continue
+                nd = base_nd[(u, p)]
+                if s < nd:
+                    # v becomes the earliest consumer of u on p: the (lazy)
+                    # transfer u -> p moves from phase nd-1 to phase s-1.
+                    volume = self._comm_list[u] * numa[pu][p]
+                    if nd < _NO_STEP:
+                        cell = flat + ridx[nd - 1] * P
+                        s_idx.append(cell + pu)
+                        s_val.append(-volume)
+                        r_idx.append(cell + p)
+                        r_val.append(-volume)
+                    cell = flat + ridx[s - 1] * P
+                    s_idx.append(cell + pu)
+                    s_val.append(volume)
+                    r_idx.append(cell + p)
+                    r_val.append(volume)
+        work_t.ravel()[w_idx] += w_v
+        if s_idx:
+            np.add.at(send_t.ravel(), s_idx, s_val)
+            np.add.at(recv_t.ravel(), r_idx, r_val)
+
+        # --- phase 5: one vectorized cost pass over all candidates ---------
+        # (phase 4, restoring the successor tables, runs in the caller's
+        # finally block.)  The row blocks go through the shared kernel so the
+        # cost formula keeps its single source of truth in model.cost.
+        new_rows = superstep_row_costs(
+            work_t.reshape(-1, P),
+            send_t.reshape(-1, P),
+            recv_t.reshape(-1, P),
+            self.g,
+            self.l,
+        ).reshape(K, nR)
+        return new_rows.sum(axis=1) - float(self.step_cost[R].sum())
+
+    def move_delta(self, v: int, new_proc: int, new_step: int) -> float:
+        """Cost change the move would cause, leaving the state unchanged."""
+        return float(self.move_deltas(v, [(v, new_proc, new_step)])[0])
+
     def evaluate_move(self, v: int, new_proc: int, new_step: int) -> float:
-        """Cost after the move, computed by apply + revert (state unchanged)."""
-        old_proc, old_step = int(self.proc[v]), int(self.step[v])
-        new_cost = self.apply_move(v, new_proc, new_step)
-        self.apply_move(v, old_proc, old_step)
-        return new_cost
+        """Cost after the move, computed without changing the state."""
+        return self.total_cost + self.move_delta(v, new_proc, new_step)
 
     # ------------------------------------------------------------------
     # Export

@@ -29,7 +29,11 @@ import numpy as np
 
 from .schedule import BspSchedule
 
-__all__ = ["CostBreakdown", "evaluate", "superstep_matrices"]
+__all__ = ["CostBreakdown", "evaluate", "superstep_matrices", "superstep_row_costs"]
+
+#: Tolerance below which a superstep's total activity counts as "empty"
+#: (guards against float residue left behind by incremental +=/-= updates).
+OCCUPANCY_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -91,14 +95,40 @@ def superstep_matrices(schedule: BspSchedule):
     np.add.at(work, (schedule.step, schedule.proc), dag.work.astype(np.float64))
 
     comm = schedule.effective_comm_schedule()
-    numa = machine.numa
-    for (v, p1, p2, s) in comm:
-        if p1 == p2:
-            continue
-        volume = float(dag.comm[v]) * float(numa[p1, p2])
-        send[s, p1] += volume
-        recv[s, p2] += volume
+    if len(comm) > 0:
+        entries = np.array(sorted(comm.entries), dtype=np.int64).reshape(-1, 4)
+        keep = entries[:, 1] != entries[:, 2]
+        ev, p1, p2, es = (entries[keep, k] for k in range(4))
+        volume = dag.comm[ev].astype(np.float64) * machine.numa[p1, p2]
+        np.add.at(send, (es, p1), volume)
+        np.add.at(recv, (es, p2), volume)
     return work[:S], send[:S], recv[:S]
+
+
+def superstep_row_costs(
+    work: np.ndarray,
+    send: np.ndarray,
+    recv: np.ndarray,
+    g: float,
+    l: float,
+) -> np.ndarray:
+    """Per-superstep costs ``C(s) = w(s) + g * h(s) + l * occurs(s)``.
+
+    ``work``/``send``/``recv`` are ``(k, P)`` blocks of superstep rows (any
+    subset of rows, not necessarily the full schedule).  This is the single
+    cost kernel shared by :func:`evaluate` and the incremental local-search
+    state, so the cost formula lives in exactly one place.
+    """
+    if work.size == 0:
+        return np.zeros(work.shape[0], dtype=np.float64)
+    w = work.max(axis=1)
+    h = np.maximum(send.max(axis=1), recv.max(axis=1))
+    occurs = (
+        (work.sum(axis=1) > OCCUPANCY_TOL)
+        | (send.sum(axis=1) > OCCUPANCY_TOL)
+        | (recv.sum(axis=1) > OCCUPANCY_TOL)
+    )
+    return w + float(g) * h + float(l) * occurs
 
 
 def evaluate(schedule: BspSchedule) -> CostBreakdown:

@@ -43,12 +43,10 @@ def legalize_superstep_assignment(
     out = np.asarray(step, dtype=np.int64).copy()
     proc = np.asarray(proc, dtype=np.int64)
     for v in dag.topological_order():
-        required = 0
-        for u in dag.parents(v):
-            if proc[u] == proc[v]:
-                required = max(required, int(out[u]))
-            else:
-                required = max(required, int(out[u]) + 1)
+        parents = dag.predecessors_array(v)
+        if parents.size == 0:
+            continue
+        required = int(np.max(out[parents] + (proc[parents] != proc[v])))
         if out[v] < required:
             out[v] = required
     return out
@@ -151,12 +149,23 @@ class BspSchedule:
         communication phase of some *earlier* superstep.
         """
         needed: Dict[Tuple[int, int], int] = {}
-        for (u, v) in self.dag.edges:
-            if self.proc[u] == self.proc[v]:
-                continue
-            key = (u, int(self.proc[v]))
-            sv = int(self.step[v])
-            if key not in needed or sv < needed[key]:
+        if self.dag.num_edges == 0:
+            return needed
+        # Vectorized extraction of the cross-processor edges; the python
+        # fold below only sees those (usually a small fraction of all edges)
+        # and preserves the first-occurrence ordering of the edge list.
+        eu, ev = self.dag.edge_sources, self.dag.edge_targets
+        cross = self.proc[eu] != self.proc[ev]
+        if not np.any(cross):
+            return needed
+        for u, q, sv in zip(
+            eu[cross].tolist(),
+            self.proc[ev[cross]].tolist(),
+            self.step[ev[cross]].tolist(),
+        ):
+            key = (u, q)
+            prev = needed.get(key)
+            if prev is None or sv < prev:
                 needed[key] = sv
         return needed
 

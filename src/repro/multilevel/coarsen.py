@@ -81,20 +81,21 @@ def coarse_dag_from_partition(
     dag: ComputationalDAG, cluster_rep: np.ndarray
 ) -> Tuple[ComputationalDAG, np.ndarray]:
     """Build the quotient DAG of a cluster partition (weights summed)."""
-    reps = sorted(set(int(r) for r in cluster_rep))
-    index_of = {r: i for i, r in enumerate(reps)}
-    mapping = np.array([index_of[int(cluster_rep[v])] for v in range(dag.n)], dtype=np.int64)
-    work = np.zeros(len(reps), dtype=np.int64)
-    comm = np.zeros(len(reps), dtype=np.int64)
-    for v in range(dag.n):
-        work[mapping[v]] += dag.work[v]
-        comm[mapping[v]] += dag.comm[v]
-    edges: Set[Tuple[int, int]] = set()
-    for (u, v) in dag.edges:
-        cu, cv = int(mapping[u]), int(mapping[v])
-        if cu != cv:
-            edges.add((cu, cv))
-    coarse = ComputationalDAG(len(reps), sorted(edges), work, comm, name=f"{dag.name}-coarse")
+    cluster_rep = np.asarray(cluster_rep, dtype=np.int64)
+    reps, mapping = np.unique(cluster_rep, return_inverse=True)
+    mapping = mapping.astype(np.int64)
+    num_clusters = len(reps)
+    work = np.bincount(mapping, weights=dag.work, minlength=num_clusters).astype(np.int64)
+    comm = np.bincount(mapping, weights=dag.comm, minlength=num_clusters).astype(np.int64)
+    edges: List[Tuple[int, int]] = []
+    if dag.num_edges:
+        cu = mapping[dag.edge_sources]
+        cv = mapping[dag.edge_targets]
+        keep = cu != cv
+        if np.any(keep):
+            pairs = np.unique(np.stack([cu[keep], cv[keep]], axis=1), axis=0)
+            edges = [tuple(pair) for pair in pairs.tolist()]
+    coarse = ComputationalDAG(num_clusters, edges, work, comm, name=f"{dag.name}-coarse")
     return coarse, mapping
 
 
@@ -102,10 +103,14 @@ class _MutableCoarseGraph:
     """Mutable cluster graph used during coarsening (adjacency as sets)."""
 
     def __init__(self, dag: ComputationalDAG) -> None:
-        self.children: Dict[int, Set[int]] = {v: set(dag.children(v)) for v in dag.nodes()}
-        self.parents: Dict[int, Set[int]] = {v: set(dag.parents(v)) for v in dag.nodes()}
-        self.work: Dict[int, int] = {v: int(dag.work[v]) for v in dag.nodes()}
-        self.comm: Dict[int, int] = {v: int(dag.comm[v]) for v in dag.nodes()}
+        self.children: Dict[int, Set[int]] = {
+            v: set(dag.successors_array(v).tolist()) for v in dag.nodes()
+        }
+        self.parents: Dict[int, Set[int]] = {
+            v: set(dag.predecessors_array(v).tolist()) for v in dag.nodes()
+        }
+        self.work: Dict[int, int] = dict(enumerate(np.asarray(dag.work).tolist()))
+        self.comm: Dict[int, int] = dict(enumerate(np.asarray(dag.comm).tolist()))
 
     @property
     def num_nodes(self) -> int:

@@ -25,7 +25,14 @@ from .pipeline.config import MultilevelConfig, PipelineConfig
 from .pipeline.framework import FrameworkScheduler
 from .scheduler import Scheduler
 
-__all__ = ["SCHEDULER_BUILDERS", "available_schedulers", "make_scheduler"]
+__all__ = [
+    "SCHEDULER_BUILDERS",
+    "TABLE_LABELS",
+    "available_schedulers",
+    "make_scheduler",
+    "registry_name_for_label",
+    "scheduler_for_label",
+]
 
 
 def _framework(fast: bool = True) -> Scheduler:
@@ -62,6 +69,19 @@ SCHEDULER_BUILDERS: Dict[str, Callable[[], Scheduler]] = {
 }
 
 
+#: Table label (as printed in the paper's tables and figures) -> registry
+#: scheduler name.  This is the single place where the experiment layer maps
+#: its column labels to registry entries; every baseline the runner records
+#: is constructed through this table.
+TABLE_LABELS: Dict[str, str] = {
+    "Cilk": "cilk",
+    "HDagg": "hdagg",
+    "BL-EST": "bl-est",
+    "ETF": "etf",
+    "Trivial": "trivial",
+}
+
+
 def available_schedulers() -> List[str]:
     """Sorted list of registered scheduler names."""
     return sorted(SCHEDULER_BUILDERS)
@@ -77,3 +97,18 @@ def make_scheduler(name: str) -> Scheduler:
             f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
         ) from exc
     return builder()
+
+
+def registry_name_for_label(label: str) -> str:
+    """Registry name of a table label like ``"Cilk"`` or ``"BL-EST"``."""
+    try:
+        return TABLE_LABELS[label]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown table label {label!r}; known: {', '.join(TABLE_LABELS)}"
+        ) from exc
+
+
+def scheduler_for_label(label: str) -> Scheduler:
+    """Instantiate the baseline scheduler behind a table label."""
+    return make_scheduler(registry_name_for_label(label))

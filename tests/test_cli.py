@@ -93,3 +93,49 @@ class TestScheduleCommand:
     def test_unknown_scheduler_rejected(self, hyperdag_file):
         with pytest.raises(ValueError):
             main(["schedule", str(hyperdag_file), "--scheduler", "magic"])
+
+
+class TestReproCommand:
+    def test_list_targets(self, capsys):
+        assert main(["repro", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig7" in out
+
+    def test_no_target_prints_listing(self, capsys):
+        assert main(["repro"]) == 0
+        assert "pick a target" in capsys.readouterr().out
+
+    def test_unknown_target_exits_with_message(self):
+        with pytest.raises(SystemExit, match="unknown repro target"):
+            main(["repro", "table99"])
+
+    def test_runs_a_target_with_jobs(self, capsys):
+        # fig7 is heuristics-only (no ILP), so this stays fast at smoke scale.
+        assert main(["repro", "fig7", "--jobs", "2", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "|" in out
+
+
+class TestSchedulersFlag:
+    def test_schedulers_overrides_scheduler_and_compare(self, capsys):
+        code = main([
+            "schedule", "--kind", "spmv", "--size", "5", "-P", "2",
+            "--scheduler", "framework", "--compare", "etf",
+            "--schedulers", "cilk,hdagg",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cilk schedule" in out and "hdagg" in out
+        assert "framework" not in out and "etf" not in out
+
+    def test_schedulers_with_parallel_jobs(self, capsys):
+        code = main([
+            "schedule", "--kind", "spmv", "--size", "5", "-P", "2",
+            "--schedulers", "cilk,hdagg", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "comparison" in capsys.readouterr().out
+
+    def test_empty_schedulers_rejected(self):
+        with pytest.raises(SystemExit, match="at least one scheduler"):
+            main(["schedule", "--kind", "spmv", "--size", "5", "--schedulers", ",,"])
