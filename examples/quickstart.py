@@ -1,63 +1,62 @@
 #!/usr/bin/env python
-"""Quickstart: schedule a computational DAG on a BSP machine.
+"""Quickstart: the declarative solve API.
 
-This example walks through the basic workflow of the library:
+This example walks through the config-first workflow of the library:
 
-1. generate a computational DAG (a fine-grained sparse matrix-vector
-   multiplication, one of the paper's workloads),
-2. describe the target machine in the BSP model (P processors, per-unit
-   communication cost g, per-superstep latency l),
-3. schedule the DAG with the classical baselines and with the paper's
-   combined framework,
-4. compare the resulting BSP costs and inspect the best schedule.
+1. describe the problem with a :class:`repro.ProblemSpec` — a DAG source
+   (here: the fine-grained spmv generator) plus a BSP machine description,
+2. solve one :class:`repro.SolveRequest` with the paper's combined
+   framework,
+3. compare several schedulers on the same problem with ``api.compare`` —
+   scheduler spec strings may carry parameters, e.g.
+   ``"hc(max_moves=200, init=source)"``,
+4. show that the whole request round-trips through JSON (the wire format
+   used by ``python -m repro batch``).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import BspMachine, PipelineConfig, run_pipeline, spmv_dag
-from repro.baselines import BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler
-from repro.graphs import dag_statistics
-
+from repro import DagSpec, MachineSpec, ProblemSpec, SolveRequest, compare, solve
 
 def main() -> None:
-    # 1. A fine-grained spmv DAG from a random 12x12 sparse matrix.
-    dag = spmv_dag(12, q=0.25, seed=42)
-    stats = dag_statistics(dag)
-    print("Workload:", dag.name)
-    print(f"  nodes={stats.num_nodes}  edges={stats.num_edges}  depth={stats.depth}"
-          f"  total work={stats.total_work}  CCR={stats.ccr:.2f}")
-
-    # 2. A machine with 4 processors, communication cost 3 per unit of data
+    # 1. A fine-grained spmv DAG from a random 12x12 sparse matrix, on a
+    #    machine with 4 processors, communication cost 3 per unit of data
     #    and a latency of 5 per superstep (the paper's default).
-    machine = BspMachine(P=4, g=3, l=5)
-    print("Machine:", machine.describe())
+    spec = ProblemSpec(
+        dag=DagSpec.generator("spmv", n=12, q=0.25, seed=42),
+        machine=MachineSpec(P=4, g=3, l=5),
+    )
 
-    # 3. Baselines.
-    print("\nBaseline schedules:")
-    for scheduler in (CilkScheduler(seed=0), BlEstScheduler(), EtfScheduler(), HDaggScheduler()):
-        schedule = scheduler.schedule(dag, machine)
-        breakdown = schedule.cost_breakdown()
-        print(f"  {scheduler.name:<8} cost={breakdown.total:8.1f}  "
-              f"(work {breakdown.work_cost:.0f}, comm {breakdown.comm_cost:.0f}, "
-              f"latency {breakdown.latency_cost:.0f}, supersteps {breakdown.num_supersteps})")
+    # 2. Solve it with the paper's combined framework (fast limits).
+    result = solve(SolveRequest(spec=spec, scheduler="framework"))
+    print(f"Workload: {result.dag_name}  ({result.num_nodes} nodes)")
+    print(
+        f"Framework schedule: cost={result.total_cost:.1f} "
+        f"(work {result.work_cost:.0f}, comm {result.comm_cost:.0f}, "
+        f"latency {result.latency_cost:.0f}, {result.num_supersteps} supersteps)"
+    )
+    assert result.valid
 
-    # 4. The paper's combined framework: initialization heuristics, hill
-    #    climbing and the ILP-based refinement stages.
-    result = run_pipeline(dag, machine, PipelineConfig.fast())
-    print("\nOur framework:")
-    print(f"  best initializer : {result.best_initializer} (cost {result.init_cost:.1f})")
-    print(f"  after HC + HCcs  : {result.local_search_cost:.1f}")
-    print(f"  after ILP stages : {result.final_cost:.1f}")
+    # 3. Compare against the classical baselines and a parameterized
+    #    local-search scheduler, all through spec strings.
+    print("\nComparison (lower is better):")
+    schedulers = ["cilk", "bl-est", "etf", "hdagg", "hc(max_moves=200, init=source)"]
+    results = compare(spec, schedulers)
+    baseline = results[0].total_cost
+    for entry in results:
+        rel = entry.total_cost / baseline if baseline else float("nan")
+        print(f"  {entry.scheduler:<32} cost={entry.total_cost:8.1f}  ({rel:.2f}x of cilk)")
 
-    best = result.schedule
-    breakdown = best.cost_breakdown()
-    print(f"\nFinal schedule: {breakdown.num_supersteps} supersteps, "
-          f"cost {breakdown.total:.1f} "
-          f"(work {breakdown.work_cost:.0f} + comm {breakdown.comm_cost:.0f} "
-          f"+ latency {breakdown.latency_cost:.0f})")
-    cilk_cost = CilkScheduler(seed=0).schedule(dag, machine).cost()
-    print(f"Improvement over Cilk: {100 * (1 - breakdown.total / cilk_cost):.0f}%")
-    assert best.is_valid()
+    best = min(results + [result], key=lambda r: r.total_cost)
+    print(f"\nBest: {best.scheduler}  "
+          f"({100 * (1 - best.total_cost / baseline):.0f}% improvement over Cilk)")
+
+    # 4. Requests and results are JSON round-trippable (the `repro batch`
+    #    wire format) — what you solve is exactly what you can store.
+    request = SolveRequest(spec=spec, scheduler="framework")
+    assert SolveRequest.from_json(request.to_json()) == request
+    print("\nRequest wire format:")
+    print(request.to_json()[:100] + " ...")
 
 
 if __name__ == "__main__":

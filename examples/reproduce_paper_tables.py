@@ -1,63 +1,49 @@
 #!/usr/bin/env python
-"""Regenerate the paper's headline tables from the command line.
+"""Regenerate the paper's tables and figures through the API facade.
 
-The benchmark harness under ``benchmarks/`` regenerates every table and
-figure; this example exposes the same machinery as a small CLI so that a
-single table can be reproduced interactively, at a chosen scale.
+Every table/figure of the paper's evaluation has a named reproduction
+target; :func:`repro.api.reproduce` runs the corresponding experiment grid
+on laptop-scale datasets and returns rendered tables.  This example exposes
+that facade as a small CLI so a single artifact can be reproduced
+interactively, at a chosen scale and worker count.
 
 Examples::
 
-    python examples/reproduce_paper_tables.py --table 1 --scale smoke
-    python examples/reproduce_paper_tables.py --table 2 --scale reduced
-    python examples/reproduce_paper_tables.py --table 3
+    python examples/reproduce_paper_tables.py --target table1
+    python examples/reproduce_paper_tables.py --target table2 --scale reduced
+    python examples/reproduce_paper_tables.py --target fig7 --jobs 4
+    python examples/reproduce_paper_tables.py --list
 """
 
 import argparse
 
-from repro.experiments import tables as paper_tables
-from repro.experiments.datasets import build_dataset
-from repro.pipeline.config import MultilevelConfig, PipelineConfig
-
-
-def build_datasets(scale: str, instances: int):
-    names = ["tiny", "small"] if scale == "smoke" else ["tiny", "small", "medium"]
-    return {name: build_dataset(name, scale=scale, max_instances=instances) for name in names}
+from repro import api
+from repro.experiments.tables import REPRO_TARGETS
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--table", type=int, default=1, choices=(1, 2, 3),
-                        help="which paper table to regenerate (1, 2 or 3)")
+    parser.add_argument("--target", default="table1",
+                        help="which artifact to regenerate (see --list)")
     parser.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"),
                         help="dataset scale (smoke is laptop-friendly)")
-    parser.add_argument("--instances", type=int, default=2,
-                        help="instances per dataset")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes of the experiment engine")
+    parser.add_argument("--seed", type=int, default=7, help="dataset generation seed")
+    parser.add_argument("--list", action="store_true", help="list the available targets")
     args = parser.parse_args()
 
-    datasets = build_datasets(args.scale, args.instances)
-    config = PipelineConfig.fast() if args.scale == "smoke" else PipelineConfig()
+    if args.list:
+        width = max(len(name) for name in REPRO_TARGETS)
+        for name, description in REPRO_TARGETS.items():
+            print(f"{name.ljust(width)} : {description}")
+        return
 
-    if args.table == 1:
-        by_p, by_dataset, _ = paper_tables.make_table1_no_numa(
-            datasets, P_values=(2, 4), g_values=(1, 3, 5), latency=5, config=config
-        )
-        print(by_p.to_text())
+    for table in api.reproduce(args.target, scale=args.scale, jobs=args.jobs, seed=args.seed):
+        print(table.to_text())
         print()
-        print(by_dataset.to_text())
-    elif args.table == 2:
-        table, _ = paper_tables.make_table2_numa(
-            datasets, P_values=(4, 8), delta_values=(2, 3, 4), g=1, latency=5, config=config
-        )
-        print(table.to_text())
-    else:
-        ml_config = MultilevelConfig(base_pipeline=config)
-        table, _ = paper_tables.make_table3_multilevel(
-            datasets, P_values=(8,), delta_values=(2, 3, 4), g=1, latency=5,
-            config=config, multilevel_config=ml_config,
-        )
-        print(table.to_text())
 
-    print("\nNote: at reduced scales the absolute numbers differ from the paper;")
+    print("Note: at reduced scales the absolute numbers differ from the paper;")
     print("the qualitative shape (who wins, and how the gap grows with g, P and")
     print("delta) is what this reproduction targets — see EXPERIMENTS.md.")
 

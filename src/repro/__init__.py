@@ -7,7 +7,17 @@ algorithm of the proposed framework (initialization heuristics, hill-climbing
 local search, ILP-based methods, the multilevel scheduler), and an experiment
 harness that regenerates the paper's tables and figures.
 
-Quick start::
+Quick start (declarative API)::
+
+    from repro import DagSpec, MachineSpec, ProblemSpec, SolveRequest, solve
+
+    spec = ProblemSpec(
+        dag=DagSpec.generator("spmv", n=30, q=0.2, seed=0),
+        machine=MachineSpec(P=4, g=3, l=5),
+    )
+    print(solve(SolveRequest(spec=spec, scheduler="framework")).total_cost)
+
+or imperatively::
 
     from repro import BspMachine, spmv_dag, run_pipeline
     from repro.baselines import CilkScheduler
@@ -49,13 +59,48 @@ from .pipeline import (
 )
 from .multilevel import MultilevelScheduler, multilevel_schedule
 from .model import describe_schedule, schedule_to_text_gantt
-from .registry import available_schedulers, make_scheduler
-from .scheduler import Scheduler, SchedulingError
 
-__version__ = "1.0.0"
+# The facade imports the experiment engine, which reaches back through the
+# pipeline/multilevel packages — keep this import after them so the package
+# initialization order stays acyclic.
+from .api import compare, solve, solve_many
+from .registry import (
+    SchedulerInfo,
+    available_schedulers,
+    make_scheduler,
+    parse_scheduler_spec,
+    register_scheduler,
+    scheduler_info,
+)
+from .scheduler import Scheduler, SchedulingError
+from .spec import (
+    DagSpec,
+    MachineSpec,
+    ProblemSpec,
+    SolveRequest,
+    SolveResult,
+    SpecError,
+)
+
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
+    # declarative solve API
+    "solve",
+    "solve_many",
+    "compare",
+    "DagSpec",
+    "MachineSpec",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+    "SpecError",
+    # registry
+    "SchedulerInfo",
+    "register_scheduler",
+    "scheduler_info",
+    "parse_scheduler_spec",
     # graphs
     "ComputationalDAG",
     "spmv_dag",

@@ -1,0 +1,215 @@
+"""The batch solve facade: one declarative entry point for scheduling requests.
+
+This module is the public, config-first surface of the package.  Callers
+describe *what* to solve with the frozen spec types of :mod:`repro.spec` and
+the registry's scheduler spec strings, and the facade takes care of *how*:
+materializing DAGs and machines, resolving schedulers, validating schedules,
+and batching work onto the parallel experiment engine with checkpoint /
+resume.
+
+::
+
+    from repro import api
+    from repro.spec import DagSpec, MachineSpec, ProblemSpec, SolveRequest
+
+    spec = ProblemSpec(
+        dag=DagSpec.generator("spmv", n=12, q=0.25, seed=42),
+        machine=MachineSpec(P=4, g=3, l=5),
+    )
+    result = api.solve(SolveRequest(spec=spec, scheduler="framework"))
+    ranking = api.compare(spec, ["cilk", "hdagg", "hc(max_moves=200)"])
+
+Batches (:func:`solve_many`) run through
+:class:`repro.experiments.runner.ParallelRunner`: ``jobs > 1`` fans the
+requests out over a process pool with deterministic result ordering, and a
+``checkpoint`` JSONL path makes the batch resumable — results already in the
+checkpoint are not re-solved.  The JSONL helpers (:func:`load_requests`,
+:func:`write_results`) round-trip the request/result wire format used by the
+``python -m repro batch`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from .experiments.runner import ParallelRunner, WorkItem, WorkItemResult
+from .registry import parse_scheduler_spec, scheduler_info
+from .spec import MachineSpec, ProblemSpec, SolveRequest, SolveResult, SpecError
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "compare",
+    "load_requests",
+    "write_results",
+    "reproduce",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Request -> result
+# ----------------------------------------------------------------------
+def _to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
+    """Assemble the public result from an executed (or resumed) work item."""
+    info = scheduler_info(item.scheduler)
+    # The registry flag describes the default configuration; an explicit
+    # wall-clock cutoff in the spec makes this particular run load-dependent.
+    _, kwargs = parse_scheduler_spec(item.scheduler)
+    deterministic = info.deterministic and kwargs.get("time_limit") is None
+    breakdown = result.breakdown
+    total = breakdown.get("total_cost")
+    if total is None:
+        # Registry items record exactly one cost under their label.
+        total = next(iter(result.costs.values()))
+    return SolveResult(
+        scheduler=item.scheduler,
+        dag_name=item.dag.name,
+        num_nodes=int(item.dag.n),
+        machine=MachineSpec.from_machine(item.machine),
+        total_cost=float(total),
+        work_cost=float(breakdown.get("work_cost", 0.0)),
+        comm_cost=float(breakdown.get("comm_cost", 0.0)),
+        latency_cost=float(breakdown.get("latency_cost", 0.0)),
+        num_supersteps=int(breakdown.get("num_supersteps", 0)),
+        valid=True,  # execute_work_item validates every schedule it costs
+        wall_seconds=float(result.seconds),
+        scheduler_description=info.description,
+        deterministic=deterministic,
+    )
+
+
+def solve(request: SolveRequest) -> SolveResult:
+    """Solve one request: build the instance, run the scheduler, validate.
+
+    The scheduler spec is resolved through the registry (the request's
+    ``seed`` / ``time_budget`` are merged into it when the scheduler accepts
+    them), and the resulting schedule is validity-checked before its cost is
+    reported — an invalid schedule raises instead of returning a bogus cost.
+    """
+    from .experiments.runner import execute_work_item
+
+    item = WorkItem.from_request(request)
+    return _to_solve_result(item, execute_work_item(item))
+
+
+def solve_many(
+    requests: Sequence[SolveRequest],
+    *,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+) -> List[SolveResult]:
+    """Solve a batch of requests, optionally in parallel and resumably.
+
+    Results come back in request order regardless of worker completion
+    order, so a ``jobs > 1`` batch of deterministic schedulers is
+    bytewise identical to a serial :func:`solve` loop.  With ``checkpoint``
+    every finished request is appended to a JSONL file as it completes;
+    ``resume=True`` skips requests whose results are already recorded there
+    (matched by a content signature, never by position alone).
+    """
+    items = [
+        WorkItem.from_request(request, index=k, instance=k)
+        for k, request in enumerate(requests)
+    ]
+    checkpoint_path = str(checkpoint) if checkpoint is not None else None
+    runner = ParallelRunner(jobs, checkpoint=checkpoint_path, resume=resume)
+    results = runner.execute(items)
+    # A resumed record from a pre-breakdown checkpoint format carries only
+    # the total cost; re-solve those items (on the pool, like any other
+    # batch) instead of fabricating a zeroed breakdown, and append the
+    # upgraded records so the next resume finds them (later records win).
+    stale = [item for item, result in zip(items, results) if not result.breakdown]
+    if stale:
+        redone = ParallelRunner(jobs).execute(stale)
+        by_index = {result.index: result for result in redone}
+        results = [by_index.get(result.index, result) for result in results]
+        if checkpoint_path is not None:
+            from .experiments.persistence import CheckpointWriter
+
+            with CheckpointWriter(checkpoint_path, append=True) as writer:
+                for result in redone:
+                    writer.append(result.as_record())
+    return [_to_solve_result(item, result) for item, result in zip(items, results)]
+
+
+def compare(
+    spec: ProblemSpec,
+    scheduler_specs: Sequence[str],
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> List[SolveResult]:
+    """Run several schedulers on one problem; results in the given order.
+
+    A thin wrapper over :func:`solve_many` — one request per scheduler spec,
+    all sharing the problem, seed and time budget.
+    """
+    requests = [
+        SolveRequest(spec=spec, scheduler=s, seed=seed, time_budget=time_budget)
+        for s in scheduler_specs
+    ]
+    return solve_many(requests, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# JSONL wire helpers (the `repro batch` format)
+# ----------------------------------------------------------------------
+def load_requests(path: PathLike) -> List[SolveRequest]:
+    """Read solve requests from a JSONL file (one request object per line)."""
+    requests: List[SolveRequest] = []
+    with Path(path).open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            try:
+                requests.append(SolveRequest.from_dict(data))
+            except (SpecError, KeyError, TypeError, ValueError) as exc:
+                raise SpecError(f"{path}:{lineno}: invalid solve request: {exc}") from exc
+    return requests
+
+
+def write_results(
+    results: Iterable[SolveResult],
+    target: Union[PathLike, TextIO],
+    *,
+    timing: bool = False,
+) -> None:
+    """Write results as JSONL (sorted keys, one object per line).
+
+    Without ``timing`` the output is deterministic for deterministic
+    schedulers, so two runs of the same batch — serial or parallel — can be
+    compared bytewise.
+    """
+    lines = (result.to_json(timing=timing) + "\n" for result in results)
+    if hasattr(target, "write"):
+        for line in lines:
+            target.write(line)
+    else:
+        with Path(target).open("w") as handle:
+            for line in lines:
+                handle.write(line)
+
+
+# ----------------------------------------------------------------------
+# Paper-table facade
+# ----------------------------------------------------------------------
+def reproduce(target: str, *, scale: str = "smoke", jobs: Optional[int] = None, seed: int = 7):
+    """Regenerate one paper table / figure by name (``"table1"`` .. ``"fig7"``).
+
+    Delegates to :func:`repro.experiments.tables.reproduce`; exposed here so
+    scripts depending on the facade need no second import path.
+    """
+    from .experiments.tables import reproduce as _reproduce
+
+    return _reproduce(target, scale=scale, jobs=jobs, seed=seed)

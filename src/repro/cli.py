@@ -1,12 +1,20 @@
 """Command-line interface: ``python -m repro``.
 
-Four subcommands cover the workflows a downstream user needs most often:
+Five subcommands cover the workflows a downstream user needs most often:
 
 ``schedule``
-    Schedule a computational DAG (a hyperDAG file or a generated instance)
-    on a described machine with any registered scheduler and print the cost
-    breakdown, optionally comparing several schedulers side by side
-    (``--schedulers a,b,c`` — run in parallel with ``--jobs N``).
+    Schedule a computational DAG (a hyperDAG file, a generated instance, or
+    a ``--spec`` JSON problem/request file) on a described machine with any
+    registered scheduler and print the cost breakdown, optionally comparing
+    several schedulers side by side (``--schedulers a,b,c`` — parameterized
+    spec strings like ``"hc(max_moves=50)"`` work; run in parallel with
+    ``--jobs N``).
+
+``batch``
+    Solve a JSONL file of :class:`~repro.spec.SolveRequest` objects through
+    the :mod:`repro.api` facade, one result line per request (in request
+    order, bytewise reproducible for deterministic schedulers), optionally
+    on several worker processes with a resumable checkpoint.
 
 ``repro``
     Regenerate one table or figure of the paper's evaluation by name
@@ -26,6 +34,8 @@ Examples::
     python -m repro info spmv.hdag
     python -m repro schedule spmv.hdag -P 4 -g 3 -l 5 --schedulers framework,cilk,hdagg --jobs 3
     python -m repro schedule --kind cg --size 8 -P 8 -g 1 -l 5 --delta 3 --scheduler multilevel
+    python -m repro schedule --spec request.json
+    python -m repro batch requests.jsonl --jobs 4 --out results.jsonl
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
 """
@@ -33,6 +43,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -43,7 +54,8 @@ from .graphs.fine import FINE_GRAINED_GENERATORS, generate_fine_grained
 from .graphs.hyperdag import read_hyperdag, write_hyperdag
 from .model.inspect import describe_schedule, schedule_to_text_gantt
 from .model.machine import BspMachine
-from .registry import available_schedulers
+from .registry import available_schedulers, split_scheduler_list
+from .spec import ProblemSpec, SolveRequest, SpecError
 
 __all__ = ["main", "build_parser"]
 
@@ -55,8 +67,23 @@ def _load_or_generate_dag(args: argparse.Namespace) -> ComputationalDAG:
     if getattr(args, "dag_file", None):
         return read_hyperdag(args.dag_file)
     if not getattr(args, "kind", None):
-        raise SystemExit("either a hyperDAG file or --kind must be given")
+        raise SystemExit("either a hyperDAG file, --kind, or --spec must be given")
     return _generate(args.kind, args.size, args.iterations, args.density, args.seed)
+
+
+def _load_spec_file(path: str) -> "SolveRequest | ProblemSpec":
+    """Read a ``--spec`` JSON file: a SolveRequest or a bare ProblemSpec."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read spec file {path!r}: {exc}")
+    try:
+        if isinstance(data, dict) and "spec" in data:
+            return SolveRequest.from_dict(data)
+        return ProblemSpec.from_dict(data)
+    except (SpecError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid spec file {path!r}: {exc}")
 
 
 def _generate(kind: str, size: int, iterations: int, density: float, seed: int) -> ComputationalDAG:
@@ -115,9 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     # schedule ----------------------------------------------------------
     p_sched = sub.add_parser("schedule", help="schedule a DAG and print the cost breakdown")
-    p_sched.add_argument("dag_file", nargs="?", help="hyperDAG file (omit to use --kind)")
+    p_sched.add_argument("dag_file", nargs="?", help="hyperDAG file (omit to use --kind or --spec)")
     _add_generator_arguments(p_sched, require_kind=False)
     _add_machine_arguments(p_sched)
+    p_sched.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON problem spec or solve request (overrides the DAG/machine flags)",
+    )
     p_sched.add_argument(
         "--scheduler",
         default="framework",
@@ -145,6 +177,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument("--gantt", action="store_true", help="print a text Gantt view of the schedule")
     p_sched.add_argument("--out", help="write the scheduled DAG assignment to this file (CSV)")
+
+    # batch -------------------------------------------------------------
+    p_batch = sub.add_parser(
+        "batch", help="solve a JSONL file of solve requests through the API facade"
+    )
+    p_batch.add_argument("requests_file", help="JSONL file with one SolveRequest per line")
+    p_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes used to solve the requests (default: 1)",
+    )
+    p_batch.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write results to this JSONL file (default: stdout)",
+    )
+    p_batch.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="append finished requests to this JSONL checkpoint as they complete",
+    )
+    p_batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip requests whose results are already in the checkpoint",
+    )
+    p_batch.add_argument(
+        "--timing",
+        action="store_true",
+        help="include wall-clock seconds in every result (non-deterministic output)",
+    )
 
     # repro -------------------------------------------------------------
     p_repro = sub.add_parser(
@@ -190,14 +255,34 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_schedule(args: argparse.Namespace) -> int:
     from .experiments.runner import schedule_many
 
-    dag = _load_or_generate_dag(args)
-    machine = _build_machine(args)
+    default_scheduler = args.scheduler
+    if args.spec:
+        loaded = _load_spec_file(args.spec)
+        if isinstance(loaded, SolveRequest):
+            from .registry import canonical_scheduler_spec
+
+            problem = loaded.spec
+            # Canonicalize exactly like the batch facade does, so the
+            # request's seed / time budget are not silently dropped.
+            default_scheduler = canonical_scheduler_spec(
+                loaded.scheduler, seed=loaded.seed, time_budget=loaded.time_budget
+            )
+        else:
+            problem = loaded
+        dag = problem.build_dag()
+        machine = problem.build_machine()
+    else:
+        dag = _load_or_generate_dag(args)
+        machine = _build_machine(args)
     if args.schedulers:
-        names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+        try:
+            names = split_scheduler_list(args.schedulers)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
         if not names:
             raise SystemExit("--schedulers needs at least one scheduler name")
     else:
-        names = [args.scheduler] + list(args.compare)
+        names = [default_scheduler] + list(args.compare)
     results = schedule_many(dag, machine, names, jobs=args.jobs)
 
     primary_name, primary = results[0]
@@ -220,6 +305,29 @@ def _command_schedule(args: argparse.Namespace) -> int:
             for v in range(dag.n):
                 handle.write(f"{v},{int(primary.proc[v])},{int(primary.step[v])}\n")
         print(f"\nwrote assignment of {dag.n} nodes to {args.out}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from . import api
+
+    try:
+        requests = api.load_requests(args.requests_file)
+    except (OSError, SpecError) as exc:
+        raise SystemExit(str(exc))
+    if not requests:
+        raise SystemExit(f"no solve requests found in {args.requests_file!r}")
+    results = api.solve_many(
+        requests, jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
+    )
+    if args.out:
+        api.write_results(results, args.out, timing=args.timing)
+        print(
+            f"solved {len(results)} request(s); wrote {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        api.write_results(results, sys.stdout, timing=args.timing)
     return 0
 
 
@@ -265,6 +373,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "schedule":
         return _command_schedule(args)
+    if args.command == "batch":
+        return _command_batch(args)
     if args.command == "repro":
         return _command_repro(args)
     if args.command == "generate":

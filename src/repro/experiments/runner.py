@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -38,7 +39,13 @@ from ..model.schedule import BspSchedule
 from ..multilevel.scheduler import multilevel_schedule
 from ..pipeline.config import MultilevelConfig, PipelineConfig
 from ..pipeline.framework import run_pipeline
-from ..registry import TABLE_LABELS, make_scheduler, registry_name_for_label
+from ..registry import (
+    TABLE_LABELS,
+    canonical_scheduler_spec,
+    make_scheduler,
+    registry_name_for_label,
+)
+from ..spec import ProblemSpec, SolveRequest
 from .report import geometric_mean
 
 __all__ = [
@@ -132,6 +139,41 @@ class WorkItem:
     multilevel_config: Optional[MultilevelConfig] = None
     keep_schedule: bool = False
 
+    @classmethod
+    def from_request(
+        cls,
+        request: SolveRequest,
+        *,
+        index: int = 0,
+        instance: int = 0,
+        label: Optional[str] = None,
+        keep_schedule: bool = False,
+        dag: Optional[ComputationalDAG] = None,
+        machine: Optional[BspMachine] = None,
+    ) -> "WorkItem":
+        """Build a work item from a declarative :class:`~repro.spec.SolveRequest`.
+
+        This is the single path from the public request format into the
+        engine: the scheduler spec is canonicalized (merging the request's
+        seed / time budget, see
+        :func:`repro.registry.canonical_scheduler_spec`) and the DAG and
+        machine are materialized from the problem spec — or taken from
+        ``dag`` / ``machine`` when the caller already holds the built
+        instance (the experiment tables do, avoiding a rebuild).
+        """
+        scheduler = canonical_scheduler_spec(
+            request.scheduler, seed=request.seed, time_budget=request.time_budget
+        )
+        return cls(
+            index=index,
+            instance=instance,
+            dag=dag if dag is not None else request.spec.build_dag(),
+            machine=machine if machine is not None else request.spec.build_machine(),
+            scheduler=scheduler,
+            label=label,
+            keep_schedule=keep_schedule,
+        )
+
     def signature(self) -> str:
         """Digest of everything that determines this item's costs.
 
@@ -177,6 +219,13 @@ class WorkItemResult:
     scheduler: str = ""
     dag_name: str = ""
     item_signature: str = ""
+    #: Cost breakdown of the final schedule (work_cost / comm_cost /
+    #: latency_cost / num_supersteps) — persisted in checkpoints so the API
+    #: facade can rebuild full :class:`~repro.spec.SolveResult`\ s on resume
+    #: without re-running the scheduler.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds spent executing the item.
+    seconds: float = 0.0
 
     def matches(self, item: WorkItem) -> bool:
         """True if this (checkpoint) result belongs to ``item``."""
@@ -199,6 +248,8 @@ class WorkItemResult:
             "costs": dict(self.costs),
             "best_initializer": self.best_initializer,
             "initializer_costs": dict(self.initializer_costs),
+            "breakdown": dict(self.breakdown),
+            "seconds": self.seconds,
         }
 
     @classmethod
@@ -214,12 +265,27 @@ class WorkItemResult:
             scheduler=record.get("scheduler", ""),
             dag_name=record.get("dag", ""),
             item_signature=record.get("signature", ""),
+            breakdown={k: float(v) for k, v in record.get("breakdown", {}).items()},
+            seconds=float(record.get("seconds", 0.0)),
         )
+
+
+def _schedule_breakdown(schedule: BspSchedule) -> Dict[str, float]:
+    """Flat cost breakdown of a schedule, as stored in checkpoint records."""
+    breakdown = schedule.cost_breakdown()
+    return {
+        "total_cost": float(breakdown.total),
+        "work_cost": float(breakdown.work_cost),
+        "comm_cost": float(breakdown.comm_cost),
+        "latency_cost": float(breakdown.latency_cost),
+        "num_supersteps": float(breakdown.num_supersteps),
+    }
 
 
 def execute_work_item(item: WorkItem) -> WorkItemResult:
     """Run one work item; every recorded cost comes from a checked schedule."""
     dag, machine = item.dag, item.machine
+    start = time.perf_counter()
     if item.scheduler == PIPELINE_ITEM:
         pipe = run_pipeline(dag, machine, item.pipeline_config)
         pipe.schedule.validate()
@@ -238,6 +304,8 @@ def execute_work_item(item: WorkItem) -> WorkItemResult:
             scheduler=item.scheduler,
             dag_name=dag.name,
             item_signature=item.signature(),
+            breakdown=_schedule_breakdown(pipe.schedule),
+            seconds=time.perf_counter() - start,
         )
     if item.scheduler == MULTILEVEL_ITEM:
         assert item.multilevel_config is not None
@@ -254,6 +322,8 @@ def execute_work_item(item: WorkItem) -> WorkItemResult:
             scheduler=item.scheduler,
             dag_name=dag.name,
             item_signature=item.signature(),
+            breakdown=_schedule_breakdown(ml_schedule),
+            seconds=time.perf_counter() - start,
         )
     scheduler = make_scheduler(item.scheduler)
     schedule = scheduler.schedule_checked(dag, machine)
@@ -266,6 +336,8 @@ def execute_work_item(item: WorkItem) -> WorkItemResult:
         scheduler=item.scheduler,
         dag_name=dag.name,
         item_signature=item.signature(),
+        breakdown=_schedule_breakdown(schedule),
+        seconds=time.perf_counter() - start,
     )
 
 
@@ -281,20 +353,27 @@ def _instance_work_items(
     multilevel_config: Optional[MultilevelConfig],
     baselines_only: bool,
 ) -> List[WorkItem]:
-    """The work items of one instance, in table label order."""
+    """The work items of one instance, in table label order.
+
+    Baseline items are constructed through the declarative request format
+    (:class:`~repro.spec.SolveRequest` + :meth:`WorkItem.from_request`), the
+    same path the :mod:`repro.api` facade uses; the prebuilt DAG and machine
+    are passed through so nothing is re-materialized.
+    """
     labels = ["Cilk", "HDagg"]
     if include_list_baselines:
         labels += ["BL-EST", "ETF"]
     if include_trivial:
         labels.append("Trivial")
+    spec = ProblemSpec.from_instance(dag, machine)
     items = [
-        WorkItem(
+        WorkItem.from_request(
+            SolveRequest(spec=spec, scheduler=registry_name_for_label(label)),
             index=next_index + k,
             instance=instance,
+            label=label,
             dag=dag,
             machine=machine,
-            scheduler=registry_name_for_label(label),
-            label=label,
         )
         for k, label in enumerate(labels)
     ]
@@ -533,18 +612,21 @@ def schedule_many(
     """Run several registry schedulers on one instance, keeping the schedules.
 
     This is the engine entry point used by the command line: each scheduler
-    name is one work item, executed in parallel when ``jobs > 1``, and the
-    checked schedules come back in the order the names were given.
+    spec is one work item (constructed through :class:`~repro.spec.SolveRequest`,
+    so parameterized specs like ``"hc(max_moves=50)"`` work), executed in
+    parallel when ``jobs > 1``, and the checked schedules come back in the
+    order the names were given.
     """
+    spec = ProblemSpec.from_instance(dag, machine)
     items = [
-        WorkItem(
+        WorkItem.from_request(
+            SolveRequest(spec=spec, scheduler=name),
             index=k,
             instance=0,
-            dag=dag,
-            machine=machine,
-            scheduler=name,
             label=name,
             keep_schedule=True,
+            dag=dag,
+            machine=machine,
         )
         for k, name in enumerate(scheduler_names)
     ]

@@ -10,36 +10,18 @@ is how the figures of the paper would typically be drawn.
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..graphs.dag import ComputationalDAG
-from ..model.machine import BspMachine
 from ..pipeline.config import MultilevelConfig, PipelineConfig
+from ..spec import MachineSpec
 from .runner import InstanceResult, run_instance
 
 __all__ = ["SweepRecord", "MachineSpec", "sweep", "records_to_csv"]
 
 PathLike = Union[str, Path]
-
-
-@dataclass(frozen=True)
-class MachineSpec:
-    """A machine configuration of the sweep grid."""
-
-    P: int
-    g: float = 1.0
-    l: float = 5.0
-    delta: Optional[float] = None
-
-    def build(self) -> BspMachine:
-        if self.delta is not None:
-            return BspMachine.hierarchical(P=self.P, delta=self.delta, g=self.g, l=self.l)
-        return BspMachine(P=self.P, g=self.g, l=self.l)
-
-    def describe(self) -> Dict[str, object]:
-        return {"P": self.P, "g": self.g, "l": self.l, "delta": self.delta if self.delta is not None else 0}
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,17 @@ from .comm_hill_climbing import (
     comm_hill_climb,
 )
 from .hill_climbing import HillClimbingImprover, HillClimbingResult, hill_climb
+from .schedulers import (
+    CommHillClimbingScheduler,
+    HillClimbingScheduler,
+    SimulatedAnnealingScheduler,
+)
 from .state import LocalSearchState, Move
 
 __all__ = [
+    "HillClimbingScheduler",
+    "SimulatedAnnealingScheduler",
+    "CommHillClimbingScheduler",
     "simulated_annealing",
     "SimulatedAnnealingResult",
     "SimulatedAnnealingImprover",

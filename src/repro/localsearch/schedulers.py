@@ -1,0 +1,135 @@
+"""Local-search improvers packaged as standalone :class:`Scheduler`\\ s.
+
+The paper uses HC / HCcs (and this reproduction additionally simulated
+annealing) as *improvement* stages inside the combined pipeline.  For
+experimentation it is just as useful to run an improver on its own: start
+from a cheap initialization heuristic and climb from there.  These wrappers
+make each improver a first-class scheduler, selectable from the registry via
+spec strings such as ``"hc(max_moves=200, init=source)"`` or
+``"sa(steps=500, seed=7)"``.
+
+The ``init`` parameter is itself a scheduler spec string (resolved through
+:mod:`repro.registry`), so improvers can be stacked onto any registered
+scheduler — including each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule
+from ..scheduler import Scheduler
+from .annealing import simulated_annealing
+from .comm_hill_climbing import comm_hill_climb
+from .hill_climbing import hill_climb
+
+__all__ = [
+    "HillClimbingScheduler",
+    "SimulatedAnnealingScheduler",
+    "CommHillClimbingScheduler",
+]
+
+
+class _ImproverScheduler(Scheduler):
+    """Base class: produce an initial schedule, then improve it."""
+
+    def __init__(self, init: Union[str, Scheduler] = "bspg") -> None:
+        self.init = init
+
+    def _initial_schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        if isinstance(self.init, Scheduler):
+            base = self.init
+        else:
+            # Resolved lazily: the registry imports this module at load time.
+            from ..registry import make_scheduler
+
+            base = make_scheduler(str(self.init))
+        return base.schedule(dag, machine)
+
+
+class HillClimbingScheduler(_ImproverScheduler):
+    """HC (paper Section 4.3) on top of an initialization scheduler."""
+
+    name = "HC"
+
+    def __init__(
+        self,
+        variant: str = "first",
+        max_moves: Optional[int] = None,
+        max_passes: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        init: Union[str, Scheduler] = "bspg",
+    ) -> None:
+        super().__init__(init)
+        self.variant = variant
+        self.max_moves = max_moves
+        self.max_passes = max_passes
+        self.time_limit = time_limit
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        initial = self._initial_schedule(dag, machine)
+        return hill_climb(
+            initial,
+            variant=self.variant,
+            max_moves=self.max_moves,
+            max_passes=self.max_passes,
+            time_limit=self.time_limit,
+        ).schedule
+
+
+class SimulatedAnnealingScheduler(_ImproverScheduler):
+    """Seeded simulated annealing on the HC move neighbourhood."""
+
+    name = "SA"
+
+    def __init__(
+        self,
+        steps: int = 2000,
+        cooling: float = 0.995,
+        initial_temperature: Optional[float] = None,
+        time_limit: Optional[float] = None,
+        seed: Optional[int] = 0,
+        init: Union[str, Scheduler] = "bspg",
+    ) -> None:
+        super().__init__(init)
+        self.steps = steps
+        self.cooling = cooling
+        self.initial_temperature = initial_temperature
+        self.time_limit = time_limit
+        self.seed = seed
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        initial = self._initial_schedule(dag, machine)
+        result = simulated_annealing(
+            initial,
+            steps=self.steps,
+            cooling=self.cooling,
+            initial_temperature=self.initial_temperature,
+            time_limit=self.time_limit,
+            seed=self.seed,
+        )
+        return result.schedule if result.final_cost <= initial.cost() else initial
+
+
+class CommHillClimbingScheduler(_ImproverScheduler):
+    """HCcs: optimize the communication schedule of an initial assignment."""
+
+    name = "HCcs"
+
+    def __init__(
+        self,
+        max_moves: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        init: Union[str, Scheduler] = "bspg",
+    ) -> None:
+        super().__init__(init)
+        self.max_moves = max_moves
+        self.time_limit = time_limit
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        initial = self._initial_schedule(dag, machine)
+        return comm_hill_climb(
+            initial, max_moves=self.max_moves, time_limit=self.time_limit
+        ).schedule

@@ -9,8 +9,8 @@ benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional
 
 __all__ = ["PipelineConfig", "MultilevelConfig"]
 
@@ -92,6 +92,41 @@ class PipelineConfig:
         multilevel coarse solve, which re-runs ILPcs on the original DAG)."""
         return replace(self, use_ilp_cs=False)
 
+    # ------------------------------------------------------------------
+    # Registry / spec-string support
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str) -> "PipelineConfig":
+        """Named preset: ``default``, ``fast``, ``heuristics`` or ``paper``."""
+        presets = {
+            "default": cls,
+            "full": cls,
+            "fast": cls.fast,
+            "heuristics": cls.heuristics_only,
+            "paper": cls.paper,
+        }
+        try:
+            return presets[str(name).strip().lower()]()
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown pipeline preset {name!r}; available: {', '.join(sorted(presets))}"
+            ) from exc
+
+    @classmethod
+    def field_names(cls) -> "frozenset[str]":
+        """Names of all configurable knobs (used by the scheduler registry)."""
+        return frozenset(f.name for f in fields(cls))
+
+    def with_overrides(self, **overrides: Any) -> "PipelineConfig":
+        """Copy with the given knobs replaced; unknown names raise ValueError."""
+        unknown = sorted(set(overrides) - self.field_names())
+        if unknown:
+            raise ValueError(
+                f"unknown pipeline option(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(self.field_names()))}"
+            )
+        return replace(self, **overrides)
+
 
 @dataclass
 class MultilevelConfig:
@@ -107,3 +142,37 @@ class MultilevelConfig:
     refine_interval: int = 5
     hc_moves_per_refinement: int = 100
     base_pipeline: PipelineConfig = field(default_factory=PipelineConfig.fast)
+
+    def __post_init__(self) -> None:
+        # Spec strings deliver ratio lists as tuples/lists of numbers; keep
+        # the stored form a tuple so configs compare (and hash) by value.
+        self.coarsening_ratios = tuple(float(r) for r in self.coarsening_ratios)
+
+    # ------------------------------------------------------------------
+    # Registry / spec-string support
+    # ------------------------------------------------------------------
+    @classmethod
+    def field_names(cls) -> "frozenset[str]":
+        """Names of the multilevel-specific knobs (``base_pipeline`` excluded)."""
+        return frozenset(f.name for f in fields(cls)) - {"base_pipeline"}
+
+    def with_overrides(self, **overrides: Any) -> "MultilevelConfig":
+        """Copy with knobs replaced; pipeline knobs fall through to the base
+        pipeline config, unknown names raise ValueError."""
+        own: Dict[str, Any] = {}
+        base: Dict[str, Any] = {}
+        unknown = []
+        for key, value in overrides.items():
+            if key in self.field_names():
+                own[key] = value
+            elif key in PipelineConfig.field_names():
+                base[key] = value
+            else:
+                unknown.append(key)
+        if unknown:
+            raise ValueError(
+                f"unknown multilevel option(s) {', '.join(sorted(unknown))}; available: "
+                f"{', '.join(sorted(self.field_names() | PipelineConfig.field_names()))}"
+            )
+        pipeline = self.base_pipeline.with_overrides(**base) if base else self.base_pipeline
+        return replace(self, base_pipeline=pipeline, **own)

@@ -1,15 +1,34 @@
-"""Scheduler registry: build any scheduler of the framework by name.
+"""Scheduler registry v2: build any scheduler of the framework from a spec string.
 
-The registry is the glue used by the command-line interface and by user code
-that wants to select algorithms from configuration files: every baseline,
-every initialization heuristic and both combined schedulers (the pipeline and
-the multilevel scheduler) are available under the short names used in the
-paper's tables.
+The registry is the glue used by the command-line interface, the experiment
+engine and the :mod:`repro.api` facade: every baseline, every initialization
+heuristic, the local-search improvers and both combined schedulers (the
+pipeline and the multilevel scheduler) are registered under the short names
+used in the paper's tables.
+
+Registration is declarative — a factory function decorated with
+:func:`register_scheduler` carries per-scheduler metadata (description,
+determinism, NUMA awareness) and its keyword parameters become reachable
+from a *spec string*::
+
+    make_scheduler("cilk")
+    make_scheduler("multilevel(fast=false, min_coarse_nodes=16)")
+    make_scheduler("hc(max_moves=200, init=source)")
+    make_scheduler("framework(use_ilp_full=false, hc_time_limit=1.5)")
+
+The grammar is ``name`` or ``name(key=value, ...)``; values are integers,
+floats, booleans (``true``/``false``), ``none``, bracketed lists
+(``coarsening_ratios=[0.3, 0.15]``), and bare or quoted strings.  Names and
+table labels are case-insensitive everywhere.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import inspect
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .baselines.cilk import CilkScheduler
 from .baselines.hdagg import HDaggScheduler
@@ -19,6 +38,11 @@ from .heuristics.bspg import BspGreedyScheduler
 from .heuristics.source import SourceScheduler
 from .ilp.full import IlpFullScheduler
 from .ilp.init import IlpInitScheduler
+from .localsearch.schedulers import (
+    CommHillClimbingScheduler,
+    HillClimbingScheduler,
+    SimulatedAnnealingScheduler,
+)
 from .multilevel.scheduler import MultilevelScheduler
 from .pipeline.adaptive import AdaptiveScheduler
 from .pipeline.config import MultilevelConfig, PipelineConfig
@@ -26,53 +50,580 @@ from .pipeline.framework import FrameworkScheduler
 from .scheduler import Scheduler
 
 __all__ = [
+    "SchedulerInfo",
     "SCHEDULER_BUILDERS",
     "TABLE_LABELS",
     "available_schedulers",
+    "canonical_scheduler_spec",
+    "format_scheduler_spec",
     "make_scheduler",
+    "parse_scheduler_spec",
+    "register_scheduler",
     "registry_name_for_label",
     "scheduler_for_label",
+    "scheduler_info",
+    "split_scheduler_list",
 ]
 
 
-def _framework(fast: bool = True) -> Scheduler:
-    return FrameworkScheduler(PipelineConfig.fast() if fast else PipelineConfig())
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedulerInfo:
+    """Metadata and factory of one registered scheduler."""
+
+    name: str
+    factory: Callable[..., Scheduler]
+    description: str = ""
+    #: Whether repeated runs on the same instance produce the same schedule
+    #: *in the default configuration* (ILP stages run under wall-clock limits
+    #: and are not reproducible run-to-run; seeded randomness is considered
+    #: deterministic).  Explicitly setting a ``time_limit`` parameter in a
+    #: spec string makes any scheduler wall-clock bounded.
+    deterministic: bool = True
+    #: Whether the algorithm takes per-pair NUMA coefficients into account.
+    numa_aware: bool = True
+    #: Keyword parameters reachable from a spec string.
+    parameters: Tuple[str, ...] = ()
+
+    def accepts(self, parameter: str) -> bool:
+        """Whether a spec string may set ``parameter`` for this scheduler."""
+        return parameter in self.parameters
 
 
-def _multilevel(fast: bool = True) -> Scheduler:
-    base = PipelineConfig.fast() if fast else PipelineConfig()
-    return MultilevelScheduler(MultilevelConfig(base_pipeline=base))
+_REGISTRY: Dict[str, SchedulerInfo] = {}
 
 
-#: Name -> zero-argument factory for every registered scheduler.
+def register_scheduler(
+    name: str,
+    *,
+    description: str = "",
+    deterministic: bool = True,
+    numa_aware: bool = True,
+    parameters: Optional[Tuple[str, ...]] = None,
+) -> Callable[[Callable[..., Scheduler]], Callable[..., Scheduler]]:
+    """Decorator registering ``factory`` under ``name`` with metadata.
+
+    The factory's keyword parameters (or the explicit ``parameters`` tuple,
+    for factories taking ``**overrides``) define what spec strings may set.
+    """
+
+    def decorator(factory: Callable[..., Scheduler]) -> Callable[..., Scheduler]:
+        key = name.strip().lower()
+        if key in _REGISTRY:
+            raise ValueError(f"scheduler {key!r} is already registered")
+        if parameters is not None:
+            params = tuple(parameters)
+        else:
+            params = tuple(
+                p.name
+                for p in inspect.signature(factory).parameters.values()
+                if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+            )
+        _REGISTRY[key] = SchedulerInfo(
+            name=key,
+            factory=factory,
+            description=description,
+            deterministic=deterministic,
+            numa_aware=numa_aware,
+            parameters=params,
+        )
+        return factory
+
+    return decorator
+
+
+# ----------------------------------------------------------------------
+# Spec-string grammar
+# ----------------------------------------------------------------------
+_SPEC_RE = re.compile(r"^\s*(?P<name>[A-Za-z0-9_.+-]+)\s*(?:\(\s*(?P<args>.*?)\s*\))?\s*$", re.S)
+_BARE_STRING_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.+-]*$")
+#: A parameterized spec used as a *value* (e.g. ``hc(init=hccs(max_moves=5))``)
+#: — kept verbatim as a string so improvers can stack without quoting.
+_NESTED_SPEC_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.+-]*\(.*\)$", re.S)
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def split_scheduler_list(text: str) -> List[str]:
+    """Split a comma-separated list of scheduler specs at the top level.
+
+    Commas inside parentheses, brackets or quotes do not split, so
+    ``"hc(max_moves=5, init=source),cilk"`` yields two entries.
+    """
+    return [part for part in _split_top_level(text) if part]
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: List[str] = []
+    for ch in text:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch in "([":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None or depth != 0:
+        raise ValueError(f"unbalanced quotes or brackets in {text!r}")
+    parts.append("".join(current).strip())
+    return parts
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    if not text:
+        raise ValueError("empty value in scheduler spec")
+    if text[0] in "\"'":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise ValueError(f"unterminated string {text!r}")
+        return text[1:-1]
+    if (text[0], text[-1]) in (("[", "]"), ("(", ")")):
+        inner = text[1:-1].strip()
+        if not inner:
+            return ()
+        return tuple(_parse_value(part) for part in _split_top_level(inner))
+    if _NESTED_SPEC_RE.match(text):
+        return text
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if _BARE_STRING_RE.match(text):
+        return text
+    raise ValueError(f"cannot parse value {text!r} in scheduler spec")
+
+
+def parse_scheduler_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse ``"name"`` / ``"name(key=value, ...)"`` into (name, kwargs).
+
+    The name is lower-cased; keyword order is preserved as written.
+    """
+    match = _SPEC_RE.match(spec or "")
+    if match is None:
+        raise ValueError(
+            f"invalid scheduler spec {spec!r}; expected 'name' or 'name(key=value, ...)'"
+        )
+    name = match.group("name").lower()
+    args = match.group("args")
+    kwargs: Dict[str, Any] = {}
+    if args:
+        for part in _split_top_level(args):
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or not _IDENT_RE.match(key):
+                raise ValueError(
+                    f"invalid argument {part!r} in scheduler spec {spec!r}; "
+                    "expected key=value"
+                )
+            if key in kwargs:
+                raise ValueError(f"duplicate argument {key!r} in scheduler spec {spec!r}")
+            kwargs[key] = _parse_value(value)
+    return name, kwargs
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    text = str(value)
+    if _BARE_STRING_RE.match(text) or _NESTED_SPEC_RE.match(text):
+        return text
+    return json.dumps(text)
+
+
+def format_scheduler_spec(name: str, kwargs: Optional[Dict[str, Any]] = None) -> str:
+    """Render a canonical spec string (lower-cased name, kwargs sorted by key)."""
+    name = name.strip().lower()
+    if not kwargs:
+        return name
+    rendered = ", ".join(f"{key}={_format_value(kwargs[key])}" for key in sorted(kwargs))
+    return f"{name}({rendered})"
+
+
+def canonical_scheduler_spec(
+    spec: str,
+    *,
+    seed: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> str:
+    """Canonical form of a spec string, optionally merging request defaults.
+
+    ``seed`` maps onto a ``seed`` parameter and ``time_budget`` onto a
+    ``time_limit`` parameter — only when the scheduler's factory accepts
+    them and the spec string does not already set them.  Parsing and
+    re-rendering the result is an identity, which keeps work-item
+    signatures (and therefore checkpoint resume) stable.
+    """
+    name, kwargs = parse_scheduler_spec(spec)
+    info = _lookup(name, spec)
+    if seed is not None and info.accepts("seed") and "seed" not in kwargs:
+        kwargs["seed"] = int(seed)
+    if time_budget is not None and info.accepts("time_limit") and "time_limit" not in kwargs:
+        kwargs["time_limit"] = float(time_budget)
+    return format_scheduler_spec(name, kwargs)
+
+
+# ----------------------------------------------------------------------
+# Lookup and construction
+# ----------------------------------------------------------------------
+def available_schedulers() -> List[str]:
+    """Sorted list of registered scheduler names."""
+    return sorted(_REGISTRY)
+
+
+def _lookup(name: str, spec: str) -> SchedulerInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scheduler {spec!r}; available: {', '.join(available_schedulers())}"
+        ) from exc
+
+
+def scheduler_info(spec: str) -> SchedulerInfo:
+    """Metadata of the scheduler a spec string refers to (case-insensitive)."""
+    name, _ = parse_scheduler_spec(spec)
+    return _lookup(name, spec)
+
+
+def make_scheduler(spec: str) -> Scheduler:
+    """Instantiate a scheduler from a spec string (case-insensitive).
+
+    Plain registry names (``"cilk"``) build the default configuration;
+    parameterized specs (``"hc(max_moves=200)"``) pass the parsed keyword
+    values to the registered factory.
+    """
+    name, kwargs = parse_scheduler_spec(spec)
+    info = _lookup(name, spec)
+    unknown = sorted(k for k in kwargs if not info.accepts(k))
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {', '.join(unknown)} for scheduler {name!r}; "
+            f"accepted: {', '.join(info.parameters)}"
+        )
+    try:
+        return info.factory(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"cannot build scheduler from spec {spec!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Registered schedulers
+# ----------------------------------------------------------------------
+# Baselines (paper Section 4.1).
+@register_scheduler(
+    "cilk",
+    description="Cilk work-stealing simulation baseline",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_cilk(seed: int = 0) -> Scheduler:
+    return CilkScheduler(seed=seed)
+
+
+@register_scheduler(
+    "bl-est",
+    description="Bottom-level earliest-start-time list scheduler",
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_bl_est() -> Scheduler:
+    return BlEstScheduler()
+
+
+@register_scheduler(
+    "etf",
+    description="Earliest-task-first list scheduler",
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_etf() -> Scheduler:
+    return EtfScheduler()
+
+
+@register_scheduler(
+    "hdagg",
+    description="HDagg-style level-set aggregation baseline",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_hdagg(aggregation_factor: float = 2.0, balance_slack: float = 1.1) -> Scheduler:
+    return HDaggScheduler(aggregation_factor=aggregation_factor, balance_slack=balance_slack)
+
+
+@register_scheduler(
+    "trivial",
+    description="Everything on one processor (communication-free reference)",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_trivial() -> Scheduler:
+    return TrivialScheduler()
+
+
+@register_scheduler(
+    "level-rr",
+    description="Level-by-level round-robin assignment",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_level_rr() -> Scheduler:
+    return LevelRoundRobinScheduler()
+
+
+# Initialization heuristics (paper Section 4.2).
+@register_scheduler(
+    "bspg",
+    description="BSPg greedy initialization heuristic",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_bspg(idle_fraction: float = 0.5) -> Scheduler:
+    return BspGreedyScheduler(idle_fraction=idle_fraction)
+
+
+@register_scheduler(
+    "source",
+    description="Source-partition initialization heuristic",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_source() -> Scheduler:
+    return SourceScheduler()
+
+
+@register_scheduler(
+    "ilp-init",
+    description="Batch-by-batch ILP construction of an initial schedule",
+    deterministic=False,
+    numa_aware=True,
+)
+def _make_ilp_init(
+    max_variables: int = 2000,
+    supersteps_per_batch: int = 3,
+    time_limit: Optional[float] = 15.0,
+    backend: str = "highs",
+) -> Scheduler:
+    return IlpInitScheduler(
+        max_variables=max_variables,
+        supersteps_per_batch=supersteps_per_batch,
+        time_limit_per_batch=time_limit,
+        backend=backend,
+    )
+
+
+# ILP-based standalone scheduler.
+@register_scheduler(
+    "ilp-full",
+    description="Full BSP ILP seeded by an initialization heuristic",
+    deterministic=False,
+    numa_aware=True,
+)
+def _make_ilp_full(
+    time_limit: Optional[float] = 60.0,
+    max_variables: int = 20_000,
+    backend: str = "highs",
+    init: str = "bspg",
+) -> Scheduler:
+    return IlpFullScheduler(
+        initializer=make_scheduler(init),
+        time_limit=time_limit,
+        max_variables=max_variables,
+        backend=backend,
+    )
+
+
+# Local-search improvers as standalone schedulers.
+@register_scheduler(
+    "hc",
+    description="Hill climbing (HC) on top of an initialization scheduler",
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_hc(
+    variant: str = "first",
+    max_moves: Optional[int] = None,
+    max_passes: Optional[int] = None,
+    time_limit: Optional[float] = None,
+    init: str = "bspg",
+) -> Scheduler:
+    return HillClimbingScheduler(
+        variant=variant,
+        max_moves=max_moves,
+        max_passes=max_passes,
+        time_limit=time_limit,
+        init=init,
+    )
+
+
+@register_scheduler(
+    "hccs",
+    description="Communication-schedule hill climbing (HCcs) on an initial schedule",
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_hccs(
+    max_moves: Optional[int] = None,
+    time_limit: Optional[float] = None,
+    init: str = "bspg",
+) -> Scheduler:
+    return CommHillClimbingScheduler(max_moves=max_moves, time_limit=time_limit, init=init)
+
+
+@register_scheduler(
+    "sa",
+    description="Seeded simulated annealing on the HC move neighbourhood",
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_sa(
+    steps: int = 2000,
+    cooling: float = 0.995,
+    initial_temperature: Optional[float] = None,
+    time_limit: Optional[float] = None,
+    seed: Optional[int] = 0,
+    init: str = "bspg",
+) -> Scheduler:
+    return SimulatedAnnealingScheduler(
+        steps=steps,
+        cooling=cooling,
+        initial_temperature=initial_temperature,
+        time_limit=time_limit,
+        seed=seed,
+        init=init,
+    )
+
+
+# Combined schedulers (paper Figures 3 and 4).
+def _pipeline_config(fast: bool, preset: Optional[str], overrides: Dict[str, Any]) -> PipelineConfig:
+    base = PipelineConfig.preset(preset) if preset is not None else (
+        PipelineConfig.fast() if fast else PipelineConfig()
+    )
+    return base.with_overrides(**overrides)
+
+
+_PIPELINE_PARAMS = ("fast", "preset") + tuple(sorted(PipelineConfig.field_names()))
+
+
+@register_scheduler(
+    "framework",
+    description="The paper's combined pipeline (init + HC/HCcs + ILP stages), fast limits",
+    deterministic=False,
+    numa_aware=True,
+    parameters=_PIPELINE_PARAMS,
+)
+def _make_framework(fast: bool = True, preset: Optional[str] = None, **overrides: Any) -> Scheduler:
+    return FrameworkScheduler(_pipeline_config(fast, preset, overrides))
+
+
+@register_scheduler(
+    "framework-full",
+    description="The combined pipeline with the full (default) time limits",
+    deterministic=False,
+    numa_aware=True,
+    parameters=_PIPELINE_PARAMS,
+)
+def _make_framework_full(
+    fast: bool = False, preset: Optional[str] = None, **overrides: Any
+) -> Scheduler:
+    return FrameworkScheduler(_pipeline_config(fast, preset, overrides))
+
+
+_MULTILEVEL_PARAMS = ("fast", "preset") + tuple(
+    sorted(MultilevelConfig.field_names() | PipelineConfig.field_names())
+)
+
+
+def _multilevel_config(
+    fast: bool, preset: Optional[str], overrides: Dict[str, Any]
+) -> MultilevelConfig:
+    base = MultilevelConfig(base_pipeline=_pipeline_config(fast, preset, {}))
+    return base.with_overrides(**overrides)
+
+
+@register_scheduler(
+    "multilevel",
+    description="Multilevel coarsen-solve-refine scheduler, fast pipeline limits",
+    deterministic=False,
+    numa_aware=True,
+    parameters=_MULTILEVEL_PARAMS,
+)
+def _make_multilevel(fast: bool = True, preset: Optional[str] = None, **overrides: Any) -> Scheduler:
+    return MultilevelScheduler(_multilevel_config(fast, preset, overrides))
+
+
+@register_scheduler(
+    "multilevel-full",
+    description="Multilevel scheduler with the full (default) pipeline limits",
+    deterministic=False,
+    numa_aware=True,
+    parameters=_MULTILEVEL_PARAMS,
+)
+def _make_multilevel_full(
+    fast: bool = False, preset: Optional[str] = None, **overrides: Any
+) -> Scheduler:
+    return MultilevelScheduler(_multilevel_config(fast, preset, overrides))
+
+
+# CCR-based dispatch between the two (the paper's suggested extension).
+@register_scheduler(
+    "adaptive",
+    description="CCR-based dispatch between the pipeline and the multilevel scheduler",
+    deterministic=False,
+    numa_aware=True,
+)
+def _make_adaptive(ccr_threshold: float = 8.0, margin: float = 0.5) -> Scheduler:
+    return AdaptiveScheduler(ccr_threshold=ccr_threshold, margin=margin)
+
+
+#: Name -> zero-argument factory view of the registry (legacy surface; all
+#: registered factories build their default configuration with no arguments).
 SCHEDULER_BUILDERS: Dict[str, Callable[[], Scheduler]] = {
-    # Baselines (paper Section 4.1).
-    "cilk": lambda: CilkScheduler(seed=0),
-    "bl-est": BlEstScheduler,
-    "etf": EtfScheduler,
-    "hdagg": HDaggScheduler,
-    "trivial": TrivialScheduler,
-    "level-rr": LevelRoundRobinScheduler,
-    # Initialization heuristics (paper Section 4.2).
-    "bspg": BspGreedyScheduler,
-    "source": SourceScheduler,
-    "ilp-init": IlpInitScheduler,
-    # ILP-based standalone scheduler.
-    "ilp-full": IlpFullScheduler,
-    # Combined schedulers (paper Figures 3 and 4).
-    "framework": _framework,
-    "framework-full": lambda: _framework(fast=False),
-    "multilevel": _multilevel,
-    "multilevel-full": lambda: _multilevel(fast=False),
-    # CCR-based dispatch between the two (the paper's suggested extension).
-    "adaptive": AdaptiveScheduler,
+    name: info.factory for name, info in _REGISTRY.items()
 }
 
 
+# ----------------------------------------------------------------------
+# Table labels
+# ----------------------------------------------------------------------
 #: Table label (as printed in the paper's tables and figures) -> registry
 #: scheduler name.  This is the single place where the experiment layer maps
 #: its column labels to registry entries; every baseline the runner records
-#: is constructed through this table.
+#: is constructed through this table.  Lookups are case-insensitive.
 TABLE_LABELS: Dict[str, str] = {
     "Cilk": "cilk",
     "HDagg": "hdagg",
@@ -81,28 +632,13 @@ TABLE_LABELS: Dict[str, str] = {
     "Trivial": "trivial",
 }
 
-
-def available_schedulers() -> List[str]:
-    """Sorted list of registered scheduler names."""
-    return sorted(SCHEDULER_BUILDERS)
-
-
-def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by its registry name (case-insensitive)."""
-    key = name.strip().lower()
-    try:
-        builder = SCHEDULER_BUILDERS[key]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
-        ) from exc
-    return builder()
+_LABEL_LOOKUP: Dict[str, str] = {label.lower(): name for label, name in TABLE_LABELS.items()}
 
 
 def registry_name_for_label(label: str) -> str:
-    """Registry name of a table label like ``"Cilk"`` or ``"BL-EST"``."""
+    """Registry name of a table label like ``"Cilk"`` (case-insensitive)."""
     try:
-        return TABLE_LABELS[label]
+        return _LABEL_LOOKUP[label.strip().lower()]
     except KeyError as exc:
         raise ValueError(
             f"unknown table label {label!r}; known: {', '.join(TABLE_LABELS)}"

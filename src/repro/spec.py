@@ -1,0 +1,476 @@
+"""Declarative problem specifications — the wire format of the solve API.
+
+Every workflow of the package (CLI invocations, experiment sweeps, batch
+services) boils down to the same request: *schedule this DAG on this machine
+with this scheduler*.  This module gives that request a frozen, JSON
+round-trippable shape so it can be stored in files, sent over a wire, hashed
+for caching, and replayed deterministically:
+
+* :class:`DagSpec` — where the computational DAG comes from: a hyperDAG
+  file, one of the paper's generators (kind + parameters), or an inline
+  node/edge description;
+* :class:`MachineSpec` — the BSP/NUMA machine: ``P``/``g``/``l`` plus an
+  optional binary-tree hierarchy ``delta``, processor groups, or an explicit
+  NUMA matrix;
+* :class:`ProblemSpec` — one (DAG, machine) instance;
+* :class:`SolveRequest` — a problem plus a scheduler spec string (see
+  :mod:`repro.registry`), an optional seed and an optional time budget;
+* :class:`SolveResult` — the cost breakdown, superstep count, validation
+  status, wall time and scheduler metadata of a solved request.
+
+``X.from_dict(x.to_dict())`` (and the JSON equivalents) is an identity for
+every spec class; :meth:`SolveResult.to_dict` is deterministic by default
+(wall time excluded) so batched and serial runs can be compared bytewise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .graphs.dag import ComputationalDAG
+from .model.machine import BspMachine
+
+__all__ = [
+    "SpecError",
+    "DagSpec",
+    "MachineSpec",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+]
+
+
+class SpecError(ValueError):
+    """Raised for malformed or inconsistent problem specifications."""
+
+
+_DAG_SOURCES = ("generator", "hyperdag", "inline")
+
+
+def _freeze_params(params: Union[Mapping[str, Any], Sequence[Tuple[str, Any]], None]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a parameter mapping to a sorted, hashable tuple of pairs."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for key, value in items:
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class DagSpec:
+    """Serializable description of where a computational DAG comes from.
+
+    Exactly one of the three sources is used:
+
+    * ``source="generator"``: ``kind`` names one of the fine- or
+      coarse-grained generators and ``params`` holds its keyword arguments;
+    * ``source="hyperdag"``: ``path`` points at a hyperDAG file;
+    * ``source="inline"``: ``n``/``edges``/``work``/``comm`` describe the
+      DAG explicitly (the shape a service would receive over the wire).
+    """
+
+    source: str
+    kind: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+    path: Optional[str] = None
+    n: Optional[int] = None
+    edges: Tuple[Tuple[int, int], ...] = ()
+    work: Optional[Tuple[int, ...]] = None
+    comm: Optional[Tuple[int, ...]] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.source not in _DAG_SOURCES:
+            raise SpecError(f"unknown DAG source {self.source!r}; expected one of {_DAG_SOURCES}")
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        object.__setattr__(self, "edges", tuple((int(u), int(v)) for u, v in self.edges))
+        if self.work is not None:
+            object.__setattr__(self, "work", tuple(int(w) for w in self.work))
+        if self.comm is not None:
+            object.__setattr__(self, "comm", tuple(int(c) for c in self.comm))
+        if self.source == "generator" and not self.kind:
+            raise SpecError("generator DAG specs need a 'kind'")
+        if self.source == "hyperdag" and not self.path:
+            raise SpecError("hyperdag DAG specs need a 'path'")
+        if self.source == "inline" and self.n is None:
+            raise SpecError("inline DAG specs need a node count 'n'")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def generator(cls, kind: str, **params: Any) -> "DagSpec":
+        """Spec for one of the paper's DAG generators (``spmv``, ``cg``, ...)."""
+        return cls(source="generator", kind=kind, params=_freeze_params(params))
+
+    @classmethod
+    def hyperdag(cls, path: Any) -> "DagSpec":
+        """Spec pointing at a hyperDAG file on disk (any path-like value)."""
+        return cls(source="hyperdag", path=str(path))
+
+    @classmethod
+    def from_dag(cls, dag: ComputationalDAG) -> "DagSpec":
+        """Inline spec embedding an existing DAG (edges are deduplicated/sorted)."""
+        return cls(
+            source="inline",
+            n=int(dag.n),
+            edges=tuple(dag.edges),
+            work=tuple(int(w) for w in np.asarray(dag.work)),
+            comm=tuple(int(c) for c in np.asarray(dag.comm)),
+            name=dag.name,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """Generator parameters as a plain dict."""
+        return dict(self.params)
+
+    def build(self) -> ComputationalDAG:
+        """Materialize the computational DAG this spec describes."""
+        if self.source == "hyperdag":
+            from .graphs.hyperdag import read_hyperdag
+
+            return read_hyperdag(self.path)
+        if self.source == "inline":
+            return ComputationalDAG(
+                int(self.n),
+                list(self.edges),
+                work=list(self.work) if self.work is not None else None,
+                comm=list(self.comm) if self.comm is not None else None,
+                name=self.name or "inline",
+            )
+        from .graphs.coarse import COARSE_GRAINED_GENERATORS, generate_coarse_grained
+        from .graphs.fine import FINE_GRAINED_GENERATORS, generate_fine_grained
+
+        params = self.params_dict
+        if self.kind in FINE_GRAINED_GENERATORS:
+            dag = generate_fine_grained(self.kind, **params)
+        elif self.kind in COARSE_GRAINED_GENERATORS:
+            dag = generate_coarse_grained(self.kind, **params)
+        else:
+            raise SpecError(
+                f"unknown generator kind {self.kind!r}; fine-grained: "
+                f"{sorted(FINE_GRAINED_GENERATORS)}, coarse-grained: "
+                f"{sorted(COARSE_GRAINED_GENERATORS)}"
+            )
+        if self.name:
+            dag.name = self.name
+        return dag
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (only the fields of the source)."""
+        out: Dict[str, Any] = {"source": self.source}
+        if self.source == "generator":
+            out["kind"] = self.kind
+            out["params"] = {k: list(v) if isinstance(v, tuple) else v for k, v in self.params}
+        elif self.source == "hyperdag":
+            out["path"] = self.path
+        else:
+            out["n"] = self.n
+            out["edges"] = [list(e) for e in self.edges]
+            if self.work is not None:
+                out["work"] = list(self.work)
+            if self.comm is not None:
+                out["comm"] = list(self.comm)
+        if self.name is not None:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DagSpec":
+        """Rebuild a spec written by :meth:`to_dict`."""
+        source = data.get("source")
+        if source == "generator":
+            return cls(
+                source="generator",
+                kind=data.get("kind"),
+                params=_freeze_params(data.get("params")),
+                name=data.get("name"),
+            )
+        if source == "hyperdag":
+            return cls(source="hyperdag", path=data.get("path"), name=data.get("name"))
+        if source == "inline":
+            return cls(
+                source="inline",
+                n=data.get("n"),
+                edges=tuple(tuple(e) for e in data.get("edges", ())),
+                work=tuple(data["work"]) if data.get("work") is not None else None,
+                comm=tuple(data["comm"]) if data.get("comm") is not None else None,
+                name=data.get("name"),
+            )
+        raise SpecError(f"unknown DAG source {source!r}; expected one of {_DAG_SOURCES}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Serializable description of a BSP machine with optional NUMA effects.
+
+    The NUMA structure is given by at most one of: an explicit ``numa``
+    matrix, a binary-tree hierarchy factor ``delta`` (paper Section 6), or
+    processor ``groups`` with intra/inter coefficients; with none of them
+    the machine is uniform.  Setting more than one is rejected so the JSON
+    round trip stays an identity.
+    """
+
+    P: int
+    g: float = 1.0
+    l: float = 5.0
+    delta: Optional[float] = None
+    groups: Optional[Tuple[int, ...]] = None
+    intra: float = 1.0
+    inter: float = 4.0
+    numa: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "P", int(self.P))
+        object.__setattr__(self, "g", float(self.g))
+        object.__setattr__(self, "l", float(self.l))
+        if self.delta is not None:
+            object.__setattr__(self, "delta", float(self.delta))
+        if self.groups is not None:
+            object.__setattr__(self, "groups", tuple(int(s) for s in self.groups))
+        object.__setattr__(self, "intra", float(self.intra))
+        object.__setattr__(self, "inter", float(self.inter))
+        if self.numa is not None:
+            object.__setattr__(
+                self, "numa", tuple(tuple(float(x) for x in row) for row in self.numa)
+            )
+        if self.P <= 0:
+            raise SpecError("P must be positive")
+        given = [
+            name
+            for name, value in (("delta", self.delta), ("groups", self.groups), ("numa", self.numa))
+            if value is not None
+        ]
+        if len(given) > 1:
+            raise SpecError(
+                f"machine spec sets conflicting NUMA descriptions: {', '.join(given)}; "
+                "use at most one of delta, groups, numa"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_machine(cls, machine: BspMachine) -> "MachineSpec":
+        """Spec capturing an existing machine (explicit matrix when non-uniform)."""
+        if machine.is_uniform:
+            return cls(P=machine.P, g=machine.g, l=machine.l)
+        return cls(
+            P=machine.P,
+            g=machine.g,
+            l=machine.l,
+            numa=tuple(tuple(float(x) for x in row) for row in np.asarray(machine.numa)),
+        )
+
+    def build(self) -> BspMachine:
+        """Materialize the machine this spec describes."""
+        if self.numa is not None:
+            return BspMachine(P=self.P, g=self.g, l=self.l, numa=np.asarray(self.numa, dtype=float))
+        if self.delta is not None:
+            return BspMachine.hierarchical(P=self.P, delta=self.delta, g=self.g, l=self.l)
+        if self.groups is not None:
+            return BspMachine.from_groups(
+                self.groups, intra=self.intra, inter=self.inter, g=self.g, l=self.l
+            )
+        return BspMachine(P=self.P, g=self.g, l=self.l)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat summary used by sweep CSV exports (delta 0 when uniform)."""
+        return {"P": self.P, "g": self.g, "l": self.l, "delta": self.delta if self.delta is not None else 0}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (only the fields in use)."""
+        out: Dict[str, Any] = {"P": self.P, "g": self.g, "l": self.l}
+        if self.numa is not None:
+            out["numa"] = [list(row) for row in self.numa]
+        elif self.delta is not None:
+            out["delta"] = self.delta
+        elif self.groups is not None:
+            out["groups"] = list(self.groups)
+            out["intra"] = self.intra
+            out["inter"] = self.inter
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":
+        """Rebuild a spec written by :meth:`to_dict`."""
+        return cls(
+            P=data["P"],
+            g=data.get("g", 1.0),
+            l=data.get("l", 5.0),
+            delta=data.get("delta"),
+            groups=tuple(data["groups"]) if data.get("groups") is not None else None,
+            intra=data.get("intra", 1.0),
+            inter=data.get("inter", 4.0),
+            numa=tuple(tuple(row) for row in data["numa"]) if data.get("numa") is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One scheduling instance: a DAG source plus a machine description."""
+
+    dag: DagSpec
+    machine: MachineSpec
+
+    @classmethod
+    def from_instance(cls, dag: ComputationalDAG, machine: BspMachine) -> "ProblemSpec":
+        """Spec embedding an in-memory (DAG, machine) pair inline."""
+        return cls(dag=DagSpec.from_dag(dag), machine=MachineSpec.from_machine(machine))
+
+    def build_dag(self) -> ComputationalDAG:
+        return self.dag.build()
+
+    def build_machine(self) -> BspMachine:
+        return self.machine.build()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"dag": self.dag.to_dict(), "machine": self.machine.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProblemSpec":
+        try:
+            dag = data["dag"]
+            machine = data["machine"]
+        except KeyError as exc:
+            raise SpecError(f"problem spec is missing the {exc.args[0]!r} section") from exc
+        return cls(dag=DagSpec.from_dict(dag), machine=MachineSpec.from_dict(machine))
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProblemSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """A problem spec plus the scheduler (spec string) that should solve it.
+
+    ``seed`` and ``time_budget`` are merged into the scheduler spec when the
+    scheduler's factory accepts ``seed`` / ``time_limit`` parameters and the
+    spec string does not already set them (see
+    :func:`repro.registry.canonical_scheduler_spec`).
+    """
+
+    spec: ProblemSpec
+    scheduler: str = "framework"
+    seed: Optional[int] = None
+    time_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheduler", str(self.scheduler).strip())
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        if self.time_budget is not None:
+            object.__setattr__(self, "time_budget", float(self.time_budget))
+        if not self.scheduler:
+            raise SpecError("solve requests need a non-empty scheduler spec")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"spec": self.spec.to_dict(), "scheduler": self.scheduler}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.time_budget is not None:
+            out["time_budget"] = self.time_budget
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveRequest":
+        if "spec" not in data:
+            raise SpecError("solve request is missing the 'spec' section")
+        return cls(
+            spec=ProblemSpec.from_dict(data["spec"]),
+            scheduler=data.get("scheduler", "framework"),
+            seed=data.get("seed"),
+            time_budget=data.get("time_budget"),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveRequest":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one solved request.
+
+    ``to_dict`` is deterministic by default: ``wall_seconds`` is only
+    included with ``timing=True``, so results of parallel batches compare
+    bytewise equal to serial runs of the same deterministic requests.
+    """
+
+    scheduler: str
+    dag_name: str
+    num_nodes: int
+    machine: MachineSpec
+    total_cost: float
+    work_cost: float
+    comm_cost: float
+    latency_cost: float
+    num_supersteps: int
+    valid: bool = True
+    wall_seconds: float = 0.0
+    scheduler_description: str = ""
+    deterministic: bool = True
+
+    def to_dict(self, *, timing: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "scheduler": self.scheduler,
+            "dag_name": self.dag_name,
+            "num_nodes": self.num_nodes,
+            "machine": self.machine.to_dict(),
+            "total_cost": self.total_cost,
+            "work_cost": self.work_cost,
+            "comm_cost": self.comm_cost,
+            "latency_cost": self.latency_cost,
+            "num_supersteps": self.num_supersteps,
+            "valid": self.valid,
+            "scheduler_description": self.scheduler_description,
+            "deterministic": self.deterministic,
+        }
+        if timing:
+            out["wall_seconds"] = self.wall_seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveResult":
+        return cls(
+            scheduler=data["scheduler"],
+            dag_name=data["dag_name"],
+            num_nodes=int(data["num_nodes"]),
+            machine=MachineSpec.from_dict(data["machine"]),
+            total_cost=float(data["total_cost"]),
+            work_cost=float(data["work_cost"]),
+            comm_cost=float(data["comm_cost"]),
+            latency_cost=float(data["latency_cost"]),
+            num_supersteps=int(data["num_supersteps"]),
+            valid=bool(data.get("valid", True)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            scheduler_description=data.get("scheduler_description", ""),
+            deterministic=bool(data.get("deterministic", True)),
+        )
+
+    def to_json(self, *, timing: bool = False, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(timing=timing), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveResult":
+        return cls.from_dict(json.loads(text))

@@ -116,6 +116,82 @@ class TestReproCommand:
         assert "Figure 7" in out and "|" in out
 
 
+class TestSpecAndBatch:
+    @pytest.fixture
+    def spmv_spec(self):
+        from repro.spec import DagSpec, MachineSpec, ProblemSpec
+
+        return ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=4),
+            machine=MachineSpec(P=2, g=2, l=3),
+        )
+
+    def test_schedule_from_problem_spec_file(self, spmv_spec, tmp_path, capsys):
+        spec_file = tmp_path / "problem.json"
+        spec_file.write_text(spmv_spec.to_json())
+        assert main(["schedule", "--spec", str(spec_file), "--scheduler", "hdagg"]) == 0
+        assert "hdagg schedule" in capsys.readouterr().out
+
+    def test_schedule_from_solve_request_file(self, spmv_spec, tmp_path, capsys):
+        from repro.spec import SolveRequest
+
+        spec_file = tmp_path / "request.json"
+        spec_file.write_text(SolveRequest(spec=spmv_spec, scheduler="trivial").to_json())
+        assert main(["schedule", "--spec", str(spec_file)]) == 0
+        assert "trivial schedule" in capsys.readouterr().out
+
+    def test_schedule_spec_request_keeps_seed_and_budget(self, spmv_spec, tmp_path, capsys):
+        # The request's seed/time_budget canonicalize into the scheduler spec
+        # exactly as in the batch facade — they must not be dropped.
+        from repro.spec import SolveRequest
+
+        spec_file = tmp_path / "request.json"
+        spec_file.write_text(
+            SolveRequest(spec=spmv_spec, scheduler="sa(steps=10)", seed=9).to_json()
+        )
+        assert main(["schedule", "--spec", str(spec_file)]) == 0
+        assert "sa(seed=9, steps=10) schedule" in capsys.readouterr().out
+
+    def test_schedule_rejects_malformed_spec_file(self, tmp_path):
+        spec_file = tmp_path / "broken.json"
+        spec_file.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot read spec file"):
+            main(["schedule", "--spec", str(spec_file)])
+
+    def test_batch_runs_requests_and_writes_results(self, spmv_spec, tmp_path, capsys):
+        from repro.spec import SolveRequest
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "".join(
+                SolveRequest(spec=spmv_spec, scheduler=s).to_json() + "\n"
+                for s in ("cilk", "hdagg")
+            )
+        )
+        assert main(["batch", str(requests), "--jobs", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert '"scheduler": "cilk"' in lines[0]
+        assert '"total_cost"' in lines[1]
+
+    def test_batch_empty_file_rejected(self, tmp_path):
+        requests = tmp_path / "empty.jsonl"
+        requests.write_text("\n")
+        with pytest.raises(SystemExit, match="no solve requests"):
+            main(["batch", str(requests)])
+
+    def test_schedulers_flag_accepts_parameterized_specs(self, spmv_spec, tmp_path, capsys):
+        spec_file = tmp_path / "problem.json"
+        spec_file.write_text(spmv_spec.to_json())
+        code = main([
+            "schedule", "--spec", str(spec_file),
+            "--schedulers", "hc(max_moves=10, init=source),cilk",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hc(max_moves=10, init=source) schedule" in out and "cilk" in out
+
+
 class TestSchedulersFlag:
     def test_schedulers_overrides_scheduler_and_compare(self, capsys):
         code = main([
