@@ -3,6 +3,7 @@
 from .cilk import CilkScheduler, simulate_work_stealing
 from .hdagg import HDaggScheduler
 from .list_schedulers import BlEstScheduler, EtfScheduler, list_schedule
+from .memory import MemoryAwareGreedyScheduler, repair_memory
 from .trivial import LevelRoundRobinScheduler, TrivialScheduler
 
 __all__ = [
@@ -12,6 +13,8 @@ __all__ = [
     "EtfScheduler",
     "list_schedule",
     "HDaggScheduler",
+    "MemoryAwareGreedyScheduler",
+    "repair_memory",
     "TrivialScheduler",
     "LevelRoundRobinScheduler",
 ]

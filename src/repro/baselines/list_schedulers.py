@@ -27,9 +27,10 @@ import numpy as np
 
 from ..graphs.dag import ComputationalDAG
 from ..model.classical import ClassicalSchedule, classical_to_bsp
+from ..model.machine import MEMORY_EPS as _EPS
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
-from ..scheduler import Scheduler
+from ..scheduler import Scheduler, SchedulingError
 
 __all__ = ["BlEstScheduler", "EtfScheduler", "list_schedule"]
 
@@ -53,6 +54,9 @@ def list_schedule(
     dag: ComputationalDAG,
     machine: BspMachine,
     policy: str = "bl-est",
+    *,
+    respect_memory: bool = False,
+    prefer_memory_balance: bool = False,
 ) -> ClassicalSchedule:
     """Run the BL-EST or ETF list-scheduling policy.
 
@@ -60,6 +64,17 @@ def list_schedule(
     ----------
     policy:
         ``"bl-est"`` or ``"etf"``.
+    respect_memory:
+        With the machine carrying per-processor memory bounds, only place
+        nodes on processors with enough remaining capacity (the
+        memory-constrained ``greedy-mem`` variant); raises
+        :class:`~repro.scheduler.SchedulingError` when no processor fits.
+        Without bounds on the machine this is a no-op, so the variant
+        degenerates to the plain baseline.
+    prefer_memory_balance:
+        Among the memory-feasible processors, prefer the one with the most
+        remaining capacity (ties broken by EST) instead of the earliest
+        start time.  Only meaningful together with ``respect_memory``.
     """
     if policy not in ("bl-est", "etf"):
         raise ValueError("policy must be 'bl-est' or 'etf'")
@@ -69,6 +84,10 @@ def list_schedule(
     start = np.zeros(n, dtype=np.float64)
     if n == 0:
         return ClassicalSchedule(dag, machine, proc, start)
+
+    bounds = machine.memory_bounds if respect_memory else None
+    remaining = bounds.astype(np.float64).copy() if bounds is not None else None
+    memory = np.asarray(dag.memory, dtype=np.float64)
 
     delay = _comm_delay_factor(machine)
     bottom = dag.bottom_level()
@@ -87,18 +106,33 @@ def list_schedule(
             t = max(t, float(arrival.max()))
         return t
 
+    def feasible_processors(v: int) -> List[int]:
+        if remaining is None:
+            return list(range(P))
+        fits = [p for p in range(P) if memory[v] <= remaining[p] + _EPS]
+        if not fits:
+            raise SchedulingError(
+                f"no processor has {memory[v]:g} units of memory left for "
+                f"node {v} (remaining: {np.round(remaining, 3).tolist()})"
+            )
+        return fits
+
     for _ in range(n):
         if not ready:
             raise RuntimeError("list scheduler ran out of ready nodes prematurely")
         if policy == "bl-est":
             # Highest bottom level first; break ties by node id for determinism.
             v = max(ready, key=lambda x: (bottom[x], -x))
-            best_p = min(range(P), key=lambda p: (est(v, p), p))
+            fits = feasible_processors(v)
+            if prefer_memory_balance and remaining is not None:
+                best_p = min(fits, key=lambda p: (-remaining[p], est(v, p), p))
+            else:
+                best_p = min(fits, key=lambda p: (est(v, p), p))
             best_t = est(v, best_p)
         else:  # ETF
             best: Optional[Tuple[float, float, int, int]] = None
             for v_cand in ready:
-                for p in range(P):
+                for p in feasible_processors(v_cand):
                     t = est(v_cand, p)
                     key = (t, -float(bottom[v_cand]), v_cand, p)
                     if best is None or key < best:
@@ -111,6 +145,8 @@ def list_schedule(
         start[v] = best_t
         finish[v] = best_t + float(dag.work[v])
         proc_ready[best_p] = finish[v]
+        if remaining is not None:
+            remaining[best_p] -= memory[v]
         for child in dag.children(v):
             remaining_parents[child] -= 1
             if remaining_parents[child] == 0:

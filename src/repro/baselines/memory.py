@@ -1,0 +1,181 @@
+"""Memory-aware greedy scheduling and memory-feasibility repair.
+
+The memory-constrained model variant gives every processor a bound on the
+total memory weight of the nodes co-resident on it (see
+:mod:`repro.model.machine`).  The classical baselines ignore that bound, so
+on tight instances they produce schedules that
+:meth:`~repro.model.schedule.BspSchedule.validate` rejects.  This module
+provides the two memory-aware building blocks the rest of the framework
+composes:
+
+* :class:`MemoryAwareGreedyScheduler` (registry name ``greedy-mem``) — a
+  bottom-level list scheduler in the style of BL-EST that only ever places a
+  node on a processor with enough remaining memory.  With no bound in play
+  it degenerates to plain BL-EST behaviour.
+* :func:`repair_memory` — turn a memory-violating schedule into a feasible
+  one by moving nodes off over-full processors (largest memory weight
+  first), then re-legalizing the superstep assignment.  The local-search and
+  multilevel schedulers use it to make non-memory-aware initializers usable
+  under a bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.dag import ComputationalDAG
+from ..model.classical import classical_to_bsp
+from ..model.machine import MEMORY_EPS as _EPS
+from ..model.machine import BspMachine
+from ..model.schedule import BspSchedule, legalize_superstep_assignment
+from ..scheduler import Scheduler, SchedulingError
+from .list_schedulers import list_schedule
+
+__all__ = ["MemoryAwareGreedyScheduler", "repair_memory"]
+
+
+def _check_capacity(dag: ComputationalDAG, machine: BspMachine, bounds: np.ndarray) -> None:
+    """Fail fast on instances no assignment can satisfy."""
+    memory = np.asarray(dag.memory, dtype=np.float64)
+    if dag.n and float(memory.max()) > float(bounds.max()) + _EPS:
+        raise SchedulingError(
+            f"node memory weight {memory.max():g} exceeds every processor's "
+            f"memory bound (max {bounds.max():g})"
+        )
+    if float(memory.sum()) > float(bounds.sum()) + _EPS:
+        raise SchedulingError(
+            f"total memory weight {memory.sum():g} exceeds the machine's "
+            f"aggregate memory capacity {bounds.sum():g}"
+        )
+
+
+class MemoryAwareGreedyScheduler(Scheduler):
+    """Memory-feasible greedy list scheduler (the ``greedy-mem`` baseline).
+
+    A thin memory-constrained front over the shared
+    :func:`~repro.baselines.list_schedulers.list_schedule` routine: ready
+    nodes are picked by descending bottom level (as in BL-EST) and placed on
+    a processor with enough remaining memory capacity:
+
+    * ``policy="est"`` picks, among the feasible processors, the one with
+      the earliest start time (communication delays estimated exactly as in
+      the BL-EST baseline);
+    * ``policy="balance"`` prefers the feasible processor with the most
+      remaining memory, breaking ties by earliest start time — useful when
+      the bound is tight and the EST policy would fill one processor first.
+
+    ``memory_bound`` overrides the machine's own bound for this scheduler
+    (so ``greedy-mem(memory_bound=32)`` works on an unbounded machine);
+    with neither set the scheduler behaves like plain BL-EST.
+    """
+
+    name = "GreedyMem"
+
+    def __init__(self, memory_bound: Optional[object] = None, policy: str = "est") -> None:
+        if policy not in ("est", "balance"):
+            raise ValueError("policy must be 'est' or 'balance'")
+        self.memory_bound = memory_bound
+        self.policy = policy
+
+    def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        if self.memory_bound is not None:
+            machine = machine.with_memory_bound(self.memory_bound)
+        if machine.memory_bounds is not None:
+            _check_capacity(dag, machine, machine.memory_bounds)
+        classical = list_schedule(
+            dag,
+            machine,
+            policy="bl-est",
+            respect_memory=True,
+            prefer_memory_balance=self.policy == "balance",
+        )
+        return classical_to_bsp(classical)
+
+
+def repair_memory(schedule: BspSchedule) -> BspSchedule:
+    """Make a schedule memory-feasible by relocating (or swapping) nodes.
+
+    Nodes are moved off over-full processors one at a time (largest memory
+    weight first, onto the feasible processor with the most remaining
+    capacity); when no single relocation fits, a pairwise swap with a
+    lighter node on another processor is tried.  The superstep assignment is
+    then re-legalized, which only ever delays nodes and therefore preserves
+    validity.  Every relocation and every swap strictly shrinks the total
+    overflow, so the pass terminates.
+
+    This is a heuristic, not a decision procedure: a raised
+    :class:`~repro.scheduler.SchedulingError` means relocations and pairwise
+    swaps were not enough, not that the instance is infeasible (callers that
+    need a from-scratch attempt fall back to
+    :class:`MemoryAwareGreedyScheduler`).  Schedules on machines without
+    memory bounds are returned unchanged.
+    """
+    machine = schedule.machine
+    bounds = machine.memory_bounds
+    if bounds is None:
+        return schedule
+    dag = schedule.dag
+    usage = schedule.memory_usage()
+    if np.all(usage <= bounds + _EPS):
+        return schedule
+    _check_capacity(dag, machine, bounds)
+
+    memory = np.asarray(dag.memory, dtype=np.float64)
+    proc = schedule.proc.copy()
+    usage = usage.copy()
+    P = machine.P
+
+    def try_relocate(p: int, candidates) -> bool:
+        for v in candidates:
+            slack = bounds - usage
+            slack[p] = -np.inf  # never "move" within the over-full processor
+            q = int(np.argmax(slack))
+            if memory[v] <= slack[q] + _EPS:
+                proc[v] = q
+                usage[p] -= memory[v]
+                usage[q] += memory[v]
+                return True
+        return False
+
+    def try_swap(p: int, candidates) -> bool:
+        for v in candidates:
+            for q in range(P):
+                if q == p:
+                    continue
+                # Lightest strictly-lighter partner first: the swap then
+                # shrinks p's load by the largest margin.
+                partners = sorted(
+                    (w for w in np.nonzero(proc == q)[0].tolist()
+                     if memory[w] < memory[v]),
+                    key=lambda w: (memory[w], w),
+                )
+                for w in partners:
+                    if usage[q] - memory[w] + memory[v] <= bounds[q] + _EPS:
+                        proc[v], proc[w] = q, p
+                        shift = memory[v] - memory[w]
+                        usage[p] -= shift
+                        usage[q] += shift
+                        return True
+        return False
+
+    while True:
+        over = np.nonzero(usage > bounds + _EPS)[0]
+        if over.size == 0:
+            break
+        p = int(over[int(np.argmax((usage - bounds)[over]))])
+        # Candidates on p: positive memory weight, heaviest first.
+        candidates = sorted(
+            (v for v in np.nonzero(proc == p)[0].tolist() if memory[v] > 0),
+            key=lambda v: (-memory[v], v),
+        )
+        if not try_relocate(p, candidates) and not try_swap(p, candidates):
+            raise SchedulingError(
+                f"memory overflow on processor {p} not repairable by "
+                "relocation or pairwise swap (the instance may still be "
+                "feasible; try a memory-aware scheduler from scratch)"
+            )
+
+    step = legalize_superstep_assignment(dag, proc, schedule.step)
+    return BspSchedule(dag, machine, proc, step)

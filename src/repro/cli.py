@@ -34,6 +34,8 @@ Examples::
     python -m repro info spmv.hdag
     python -m repro schedule spmv.hdag -P 4 -g 3 -l 5 --schedulers framework,cilk,hdagg --jobs 3
     python -m repro schedule --kind cg --size 8 -P 8 -g 1 -l 5 --delta 3 --scheduler multilevel
+    python -m repro schedule --kind spmv --size 10 -P 4 --memory-bound 40 \
+        --schedulers "greedy-mem,hc(init=greedy-mem)"
     python -m repro schedule --spec request.json
     python -m repro batch requests.jsonl --jobs 4 --out results.jsonl
     python -m repro repro table1 --jobs 4
@@ -102,8 +104,14 @@ def _generate(kind: str, size: int, iterations: int, density: float, seed: int) 
 
 def _build_machine(args: argparse.Namespace) -> BspMachine:
     if args.delta is not None:
-        return BspMachine.hierarchical(P=args.processors, delta=args.delta, g=args.g, l=args.latency)
-    return BspMachine(P=args.processors, g=args.g, l=args.latency)
+        machine = BspMachine.hierarchical(
+            P=args.processors, delta=args.delta, g=args.g, l=args.latency
+        )
+    else:
+        machine = BspMachine(P=args.processors, g=args.g, l=args.latency)
+    if getattr(args, "memory_bound", None) is not None:
+        machine = machine.with_memory_bound(args.memory_bound)
+    return machine
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -115,6 +123,14 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="NUMA factor of a binary-tree hierarchy (omit for a uniform machine)",
+    )
+    parser.add_argument(
+        "--memory-bound",
+        type=float,
+        default=None,
+        metavar="M",
+        help="per-processor memory bound of the memory-constrained model "
+        "(use memory-aware schedulers such as greedy-mem, hc, multilevel)",
     )
 
 

@@ -42,6 +42,7 @@ from ..pipeline.framework import run_pipeline
 from ..registry import (
     TABLE_LABELS,
     canonical_scheduler_spec,
+    canonical_table_label,
     make_scheduler,
     registry_name_for_label,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "WorkItemResult",
     "ParallelRunner",
     "execute_work_item",
+    "resolve_cost_label",
     "run_instance",
     "run_experiment",
     "schedule_many",
@@ -76,6 +78,42 @@ MULTILEVEL_ITEM = "multilevel-sweep"
 # ----------------------------------------------------------------------
 # Result containers
 # ----------------------------------------------------------------------
+def resolve_cost_label(costs: Dict[str, float], label: str) -> str:
+    """The key of ``costs`` that ``label`` refers to, case-insensitively.
+
+    Resolution order: exact key, the registry's canonical table label
+    (``"cilk"`` -> ``"Cilk"``), then a case-insensitive scan over the
+    recorded keys (stage labels like ``"Init"``, spec strings).  Raises
+    :class:`KeyError` when the label matches nothing — a missing label is a
+    caller error and must not silently turn into a NaN ratio.
+    """
+    if label in costs:
+        return label
+    canonical = canonical_table_label(label)
+    if canonical is not None and canonical in costs:
+        return canonical
+    lowered = label.strip().lower()
+    for key in costs:
+        if key.lower() == lowered:
+            return key
+    raise KeyError(
+        f"label {label!r} not among the recorded costs "
+        f"({', '.join(costs) if costs else 'none recorded'})"
+    )
+
+
+def _cost_ratio(cost: float, baseline_cost: float) -> float:
+    """``cost / baseline_cost`` with explicit zero-baseline semantics.
+
+    A zero-cost baseline is legitimate (e.g. an empty or zero-work
+    instance): anything costlier is infinitely worse (``inf``), an equally
+    free schedule is on par (``1.0``).  NaN is never returned.
+    """
+    if baseline_cost == 0:
+        return float("inf") if cost > 0 else 1.0
+    return cost / baseline_cost
+
+
 @dataclass
 class InstanceResult:
     """Costs of every algorithm on a single (DAG, machine) instance."""
@@ -88,8 +126,15 @@ class InstanceResult:
     initializer_costs: Dict[str, float] = field(default_factory=dict)
 
     def ratio(self, label: str, baseline: str = "Cilk") -> float:
-        """Cost ratio of ``label`` to ``baseline`` on this instance."""
-        return self.costs[label] / self.costs[baseline]
+        """Cost ratio of ``label`` to ``baseline`` on this instance.
+
+        Labels are resolved through the registry's canonical-label mapping
+        (case-insensitive), so ``ratio("ilp", "cilk")`` works; unknown
+        labels raise :class:`KeyError`.
+        """
+        cost = self.costs[resolve_cost_label(self.costs, label)]
+        baseline_cost = self.costs[resolve_cost_label(self.costs, baseline)]
+        return _cost_ratio(cost, baseline_cost)
 
 
 @dataclass
@@ -187,7 +232,10 @@ class WorkItem:
         structure.update(np.ascontiguousarray(dag.edge_targets).tobytes())
         structure.update(np.ascontiguousarray(dag.work).tobytes())
         structure.update(np.ascontiguousarray(dag.comm).tobytes())
+        structure.update(np.ascontiguousarray(dag.memory).tobytes())
         structure.update(np.ascontiguousarray(machine.numa).tobytes())
+        if machine.memory_bounds is not None:
+            structure.update(np.ascontiguousarray(machine.memory_bounds).tobytes())
         payload = "|".join(
             (
                 self.scheduler,

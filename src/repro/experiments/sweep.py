@@ -1,10 +1,24 @@
 """Parameter sweeps over machines and datasets, with CSV export.
 
-The paper's evaluation is a grid of (dataset, P, g, l, Delta) combinations;
-this module provides the long-form version of that grid: one record per
-(instance, machine, algorithm) with its cost and its ratio to a chosen
-baseline.  The records can be exported to CSV for external plotting, which
-is how the figures of the paper would typically be drawn.
+The paper's evaluation is a grid of (dataset, P, g, l, Delta) combinations —
+extended here with the memory-constrained model's per-processor
+``memory_bound`` dimension; this module provides the long-form version of
+that grid: one record per (instance, machine, algorithm) with its cost and
+its ratio to a chosen baseline.  The records can be exported to CSV for
+external plotting, which is how the figures of the paper would typically be
+drawn.
+
+Baseline labels are resolved through the registry's canonical-label mapping
+(case-insensitive, see :func:`repro.experiments.runner.resolve_cost_label`):
+``baseline="cilk"`` and ``baseline="Cilk"`` are the same request, a baseline
+that was not measured raises :class:`ValueError`, and a legitimately
+zero-cost baseline yields ``inf`` ratios instead of NaN.
+
+Memory-bounded machines need memory-aware algorithms (the classical
+baselines produce schedules that fail validation when the bound binds), so
+such grids are expressed with ``scheduler_specs``: a list of registry spec
+strings (``["greedy-mem", "hc(init=greedy-mem)"]``) run instead of the
+default baseline/pipeline label set.
 """
 
 from __future__ import annotations
@@ -15,11 +29,20 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
 from ..pipeline.config import MultilevelConfig, PipelineConfig
+from ..registry import canonical_scheduler_spec
 from ..spec import MachineSpec
-from .runner import InstanceResult, run_instance
+from .runner import (
+    InstanceResult,
+    WorkItem,
+    _cost_ratio,
+    execute_work_item,
+    resolve_cost_label,
+    run_instance,
+)
 
-__all__ = ["SweepRecord", "MachineSpec", "sweep", "records_to_csv"]
+__all__ = ["SweepRecord", "MachineSpec", "ratio_to_baseline", "sweep", "records_to_csv"]
 
 PathLike = Union[str, Path]
 
@@ -35,6 +58,7 @@ class SweepRecord:
     g: float
     l: float
     delta: float
+    memory_bound: float
     algorithm: str
     cost: float
     ratio_to_baseline: float
@@ -48,10 +72,54 @@ class SweepRecord:
             "g": self.g,
             "l": self.l,
             "delta": self.delta,
+            "memory_bound": self.memory_bound,
             "algorithm": self.algorithm,
             "cost": self.cost,
             "ratio_to_baseline": self.ratio_to_baseline,
         }
+
+
+def ratio_to_baseline(costs: Dict[str, float], algorithm: str, baseline: str) -> float:
+    """Ratio of ``algorithm``'s cost to ``baseline``'s, both resolved
+    case-insensitively against ``costs``.
+
+    A baseline that was never measured is a user error and raises
+    :class:`ValueError`; a zero-cost baseline yields ``inf`` for any
+    positive cost (and ``1.0`` for an equally free one) — never NaN.
+    """
+    try:
+        baseline_cost = costs[resolve_cost_label(costs, baseline)]
+    except KeyError as exc:
+        raise ValueError(
+            f"baseline {baseline!r} was not measured; recorded algorithms: "
+            f"{', '.join(costs) if costs else 'none'}"
+        ) from exc
+    cost = costs[resolve_cost_label(costs, algorithm)]
+    return _cost_ratio(cost, baseline_cost)
+
+
+def _run_scheduler_specs(
+    dag: ComputationalDAG, machine: BspMachine, scheduler_specs: Sequence[str]
+) -> InstanceResult:
+    """Run registry spec strings on one instance; costs keyed by spec string.
+
+    Work items are constructed directly from the prebuilt instance (what
+    :meth:`WorkItem.from_request` reduces to when handed ``dag``/``machine``)
+    — embedding the DAG in an inline problem spec per grid cell would be
+    pure overhead.
+    """
+    merged = InstanceResult(dag_name=dag.name, num_nodes=dag.n, machine=machine)
+    for k, spec in enumerate(scheduler_specs):
+        item = WorkItem(
+            index=k,
+            instance=0,
+            dag=dag,
+            machine=machine,
+            scheduler=canonical_scheduler_spec(spec),
+            label=spec,
+        )
+        merged.costs.update(execute_work_item(item).costs)
+    return merged
 
 
 def sweep(
@@ -63,25 +131,35 @@ def sweep(
     multilevel_config: Optional[MultilevelConfig] = None,
     include_list_baselines: bool = False,
     baselines_only: bool = False,
+    scheduler_specs: Optional[Sequence[str]] = None,
 ) -> List[SweepRecord]:
-    """Run the full grid and return one record per algorithm measurement."""
+    """Run the full grid and return one record per algorithm measurement.
+
+    With ``scheduler_specs`` the default baseline/pipeline label set is
+    replaced by the given registry spec strings (one cost per spec, keyed by
+    the spec string) — the entry point for memory-bounded grids, where only
+    memory-aware schedulers produce valid schedules.  ``baseline`` then
+    refers to one of the specs (case-insensitively).
+    """
     records: List[SweepRecord] = []
     for spec in machines:
         machine = spec.build()
         meta = spec.describe()
         for dataset_name, dags in datasets.items():
             for dag in dags:
-                result: InstanceResult = run_instance(
-                    dag,
-                    machine,
-                    pipeline_config=pipeline_config,
-                    include_list_baselines=include_list_baselines,
-                    multilevel_config=multilevel_config,
-                    baselines_only=baselines_only,
-                )
-                baseline_cost = result.costs.get(baseline)
+                if scheduler_specs is not None:
+                    result = _run_scheduler_specs(dag, machine, scheduler_specs)
+                else:
+                    result = run_instance(
+                        dag,
+                        machine,
+                        pipeline_config=pipeline_config,
+                        include_list_baselines=include_list_baselines,
+                        multilevel_config=multilevel_config,
+                        baselines_only=baselines_only,
+                    )
                 for algorithm, cost in result.costs.items():
-                    ratio = cost / baseline_cost if baseline_cost else float("nan")
+                    ratio = ratio_to_baseline(result.costs, algorithm, baseline)
                     records.append(
                         SweepRecord(
                             dataset=dataset_name,
@@ -91,6 +169,7 @@ def sweep(
                             g=float(meta["g"]),
                             l=float(meta["l"]),
                             delta=float(meta["delta"]),
+                            memory_bound=float(meta["memory_bound"]),
                             algorithm=algorithm,
                             cost=float(cost),
                             ratio_to_baseline=float(ratio),
@@ -104,7 +183,8 @@ def records_to_csv(records: Sequence[SweepRecord], path: PathLike) -> None:
     records = list(records)
     path = Path(path)
     fieldnames = list(records[0].as_dict().keys()) if records else [
-        "dataset", "dag", "n", "P", "g", "l", "delta", "algorithm", "cost", "ratio_to_baseline"
+        "dataset", "dag", "n", "P", "g", "l", "delta", "memory_bound",
+        "algorithm", "cost", "ratio_to_baseline",
     ]
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)

@@ -32,6 +32,21 @@ class DagValidationError(ValueError):
     """Raised when a graph violates the DAG invariants (cycles, bad weights)."""
 
 
+def _kahn_order(n: int, children: List[List[int]], parents: List[List[int]]) -> List[int]:
+    """Topological order by Kahn's algorithm; shorter than ``n`` on a cycle."""
+    indeg = [len(parents[v]) for v in range(n)]
+    queue = deque(v for v in range(n) if indeg[v] == 0)
+    order: List[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in children[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    return order
+
+
 @dataclass
 class ComputationalDAG:
     """A directed acyclic graph with per-node work and communication weights.
@@ -49,6 +64,11 @@ class ComputationalDAG:
         Communication weights ``c(v)``; defaults to 1 for every node.
     name:
         Optional human readable name (used in experiment reports).
+    memory:
+        Memory weights ``m(v)`` used by the memory-constrained model
+        variant (the footprint of ``v``'s data on the processor computing
+        it); defaults to the work weights, the proxy the paper's
+        memory-constrained experiments use.
     """
 
     n: int
@@ -56,26 +76,12 @@ class ComputationalDAG:
     work: Optional[Sequence[int]] = None
     comm: Optional[Sequence[int]] = None
     name: str = "dag"
+    memory: Optional[Sequence[int]] = None
 
     def __post_init__(self) -> None:
         if self.n < 0:
             raise DagValidationError("number of nodes must be non-negative")
-        self._children: List[List[int]] = [[] for _ in range(self.n)]
-        self._parents: List[List[int]] = [[] for _ in range(self.n)]
-        edge_set: Set[Tuple[int, int]] = set()
-        for (u, v) in self.edges:
-            u = int(u)
-            v = int(v)
-            if not (0 <= u < self.n and 0 <= v < self.n):
-                raise DagValidationError(f"edge ({u}, {v}) out of range for n={self.n}")
-            if u == v:
-                raise DagValidationError(f"self-loop on node {u}")
-            if (u, v) in edge_set:
-                continue
-            edge_set.add((u, v))
-            self._children[u].append(v)
-            self._parents[v].append(u)
-        self.edges = sorted(edge_set)
+        self._assign_edges(self.edges)
 
         if self.work is None:
             self.work = np.ones(self.n, dtype=np.int64)
@@ -85,15 +91,63 @@ class ComputationalDAG:
             self.comm = np.ones(self.n, dtype=np.int64)
         else:
             self.comm = np.asarray(self.comm, dtype=np.int64).copy()
-        if len(self.work) != self.n or len(self.comm) != self.n:
+        if self.memory is None:
+            self.memory = np.asarray(self.work, dtype=np.int64).copy()
+        else:
+            self.memory = np.asarray(self.memory, dtype=np.int64).copy()
+        if len(self.work) != self.n or len(self.comm) != self.n or len(self.memory) != self.n:
             raise DagValidationError("weight arrays must have length n")
-        if np.any(self.work < 0) or np.any(self.comm < 0):
+        if np.any(self.work < 0) or np.any(self.comm < 0) or np.any(self.memory < 0):
             raise DagValidationError("node weights must be non-negative")
 
-        self._topo_cache: Optional[List[int]] = None
+        # From here on, replacing ``edges`` rebuilds the whole structure
+        # (see __setattr__), so a stale adjacency or CSR view is impossible.
+        self._edges_hooked = True
+
+    def _assign_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """(Re)build adjacency from an edge iterable and re-validate.
+
+        Called from ``__post_init__`` and whenever the ``edges`` attribute is
+        replaced: deduplicates and sorts the edges into an immutable tuple,
+        rebuilds the ``_children``/``_parents`` lists, drops the derived
+        caches and eagerly re-checks acyclicity.
+        """
+        children: List[List[int]] = [[] for _ in range(self.n)]
+        parents: List[List[int]] = [[] for _ in range(self.n)]
+        edge_set: Set[Tuple[int, int]] = set()
+        for (u, v) in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise DagValidationError(f"edge ({u}, {v}) out of range for n={self.n}")
+            if u == v:
+                raise DagValidationError(f"self-loop on node {u}")
+            if (u, v) in edge_set:
+                continue
+            edge_set.add((u, v))
+            children[u].append(v)
+            parents[v].append(u)
+        # Validate acyclicity on the locally built adjacency BEFORE anything
+        # is committed, so a rejected reassignment leaves the DAG unchanged.
+        order = _kahn_order(self.n, children, parents)
+        if len(order) != self.n:
+            raise DagValidationError("graph contains a directed cycle")
+        # A tuple, assigned behind __setattr__'s back: in-place mutation is
+        # impossible and replacement re-enters this method.
+        object.__setattr__(self, "edges", tuple(sorted(edge_set)))
+        self._children: List[List[int]] = children
+        self._parents: List[List[int]] = parents
+        self._topo_cache: Optional[List[int]] = order
         self._csr_cache: Optional[Tuple[np.ndarray, ...]] = None
-        # Validate acyclicity eagerly so downstream code can rely on it.
-        self.topological_order()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "edges" and getattr(self, "_edges_hooked", False):
+            # Replacing the edge list is the one supported structural
+            # mutation: rebuild adjacency, caches and validity eagerly so no
+            # accessor can ever observe a stale view.
+            self._assign_edges(value)
+            return
+        object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -148,6 +202,26 @@ class ComputationalDAG:
     def total_comm(self) -> int:
         """Sum of all communication weights."""
         return int(np.sum(self.comm))
+
+    def total_memory(self) -> int:
+        """Sum of all memory weights."""
+        return int(np.sum(self.memory))
+
+    # ------------------------------------------------------------------
+    # Cache handling
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Drop the cached topological order and CSR arrays.
+
+        The structure is documented as immutable and the one supported
+        mutation — replacing ``edges`` — already rebuilds everything through
+        ``__setattr__``, so nothing in this module calls this after
+        construction; it exists for any future helper that mutates the
+        adjacency *in place* (which MUST call it so the accessors rebuild
+        instead of silently serving stale arrays).
+        """
+        self._topo_cache = None
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # CSR adjacency (the canonical array representation)
@@ -221,16 +295,7 @@ class ComputationalDAG:
         """
         if self._topo_cache is not None:
             return list(self._topo_cache)
-        indeg = [len(self._parents[v]) for v in range(self.n)]
-        queue = deque(v for v in range(self.n) if indeg[v] == 0)
-        order: List[int] = []
-        while queue:
-            v = queue.popleft()
-            order.append(v)
-            for w in self._children[v]:
-                indeg[w] -= 1
-                if indeg[w] == 0:
-                    queue.append(w)
+        order = _kahn_order(self.n, self._children, self._parents)
         if len(order) != self.n:
             raise DagValidationError("graph contains a directed cycle")
         self._topo_cache = order
@@ -401,7 +466,10 @@ class ComputationalDAG:
         ]
         work = [int(self.work[v]) for v in keep]
         comm = [int(self.comm[v]) for v in keep]
-        sub = ComputationalDAG(len(keep), edges, work, comm, name=f"{self.name}-sub")
+        memory = [int(self.memory[v]) for v in keep]
+        sub = ComputationalDAG(
+            len(keep), edges, work, comm, name=f"{self.name}-sub", memory=memory
+        )
         return sub, mapping
 
     def largest_weakly_connected_component(self) -> Tuple["ComputationalDAG", Dict[int, int]]:
@@ -458,6 +526,7 @@ class ComputationalDAG:
             self.work,
             self.comm,
             name=f"{self.name}-rev",
+            memory=self.memory,
         )
 
     def relabeled(self, order: Sequence[int]) -> "ComputationalDAG":
@@ -468,7 +537,8 @@ class ComputationalDAG:
         edges = [(pos[u], pos[v]) for (u, v) in self.edges]
         work = [int(self.work[v]) for v in order]
         comm = [int(self.comm[v]) for v in order]
-        return ComputationalDAG(self.n, edges, work, comm, name=self.name)
+        memory = [int(self.memory[v]) for v in order]
+        return ComputationalDAG(self.n, edges, work, comm, name=self.name, memory=memory)
 
     def to_networkx(self):
         """Export to a ``networkx.DiGraph`` with ``work``/``comm`` node attrs."""
@@ -476,7 +546,12 @@ class ComputationalDAG:
 
         g = nx.DiGraph()
         for v in range(self.n):
-            g.add_node(v, work=int(self.work[v]), comm=int(self.comm[v]))
+            g.add_node(
+                v,
+                work=int(self.work[v]),
+                comm=int(self.comm[v]),
+                memory=int(self.memory[v]),
+            )
         g.add_edges_from(self.edges)
         return g
 
@@ -490,7 +565,11 @@ class ComputationalDAG:
         edges = [(mapping[u], mapping[v]) for (u, v) in g.edges()]
         work = [int(g.nodes[node].get("work", 1)) for node in sorted(g.nodes())]
         comm = [int(g.nodes[node].get("comm", 1)) for node in sorted(g.nodes())]
-        return cls(n, edges, work, comm, name=name)
+        memory = [
+            int(g.nodes[node].get("memory", g.nodes[node].get("work", 1)))
+            for node in sorted(g.nodes())
+        ]
+        return cls(n, edges, work, comm, name=name, memory=memory)
 
     # ------------------------------------------------------------------
     # Contraction (used by the multilevel coarsening phase)
@@ -525,10 +604,14 @@ class ComputationalDAG:
                 edge_set.add((na, nb))
         work = np.zeros(n_new, dtype=np.int64)
         comm = np.zeros(n_new, dtype=np.int64)
+        memory = np.zeros(n_new, dtype=np.int64)
         for x in range(self.n):
             work[mapping[x]] += self.work[x]
             comm[mapping[x]] += self.comm[x]
-        dag = ComputationalDAG(n_new, sorted(edge_set), work, comm, name=self.name)
+            memory[mapping[x]] += self.memory[x]
+        dag = ComputationalDAG(
+            n_new, sorted(edge_set), work, comm, name=self.name, memory=memory
+        )
         return dag, mapping
 
     def is_edge_contractable(self, u: int, v: int) -> bool:
@@ -561,6 +644,7 @@ class ComputationalDAG:
             and list(self.edges) == list(other.edges)
             and np.array_equal(self.work, other.work)
             and np.array_equal(self.comm, other.comm)
+            and np.array_equal(self.memory, other.memory)
         )
 
     def __hash__(self) -> int:  # dataclass with eq needs explicit hash opt-out

@@ -11,6 +11,12 @@ spec strings such as ``"hc(max_moves=200, init=source)"`` or
 The ``init`` parameter is itself a scheduler spec string (resolved through
 :mod:`repro.registry`), so improvers can be stacked onto any registered
 scheduler — including each other.
+
+All improvers are memory-aware: with a ``memory_bound`` parameter (or a
+bound already on the machine) the initial schedule is repaired into the
+memory-feasible region if needed (see :func:`repro.baselines.memory.repair_memory`)
+and the local search's move filter keeps it there, so e.g.
+``hc(memory_bound=32, init=greedy-mem)`` always returns a feasible schedule.
 """
 
 from __future__ import annotations
@@ -33,10 +39,21 @@ __all__ = [
 
 
 class _ImproverScheduler(Scheduler):
-    """Base class: produce an initial schedule, then improve it."""
+    """Base class: produce a (memory-feasible) initial schedule, then improve it."""
 
-    def __init__(self, init: Union[str, Scheduler] = "bspg") -> None:
+    def __init__(
+        self,
+        init: Union[str, Scheduler] = "bspg",
+        memory_bound: Optional[object] = None,
+    ) -> None:
         self.init = init
+        self.memory_bound = memory_bound
+
+    def _machine(self, machine: BspMachine) -> BspMachine:
+        """The machine the improver actually works on (bound merged in)."""
+        if self.memory_bound is not None:
+            return machine.with_memory_bound(self.memory_bound)
+        return machine
 
     def _initial_schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
         if isinstance(self.init, Scheduler):
@@ -46,7 +63,20 @@ class _ImproverScheduler(Scheduler):
             from ..registry import make_scheduler
 
             base = make_scheduler(str(self.init))
-        return base.schedule(dag, machine)
+        initial = base.schedule(dag, machine)
+        if machine.has_memory_bounds:
+            # Non-memory-aware initializers may start outside the feasible
+            # region; repair so the bound-respecting move filter applies.
+            # Repair is a heuristic — when it gives up, restart from the
+            # memory-aware greedy instead of failing a feasible instance.
+            from ..baselines.memory import MemoryAwareGreedyScheduler, repair_memory
+            from ..scheduler import SchedulingError
+
+            try:
+                initial = repair_memory(initial)
+            except SchedulingError:
+                initial = MemoryAwareGreedyScheduler().schedule(dag, machine)
+        return initial
 
 
 class HillClimbingScheduler(_ImproverScheduler):
@@ -61,14 +91,16 @@ class HillClimbingScheduler(_ImproverScheduler):
         max_passes: Optional[int] = None,
         time_limit: Optional[float] = None,
         init: Union[str, Scheduler] = "bspg",
+        memory_bound: Optional[object] = None,
     ) -> None:
-        super().__init__(init)
+        super().__init__(init, memory_bound)
         self.variant = variant
         self.max_moves = max_moves
         self.max_passes = max_passes
         self.time_limit = time_limit
 
     def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        machine = self._machine(machine)
         initial = self._initial_schedule(dag, machine)
         return hill_climb(
             initial,
@@ -92,8 +124,9 @@ class SimulatedAnnealingScheduler(_ImproverScheduler):
         time_limit: Optional[float] = None,
         seed: Optional[int] = 0,
         init: Union[str, Scheduler] = "bspg",
+        memory_bound: Optional[object] = None,
     ) -> None:
-        super().__init__(init)
+        super().__init__(init, memory_bound)
         self.steps = steps
         self.cooling = cooling
         self.initial_temperature = initial_temperature
@@ -101,6 +134,7 @@ class SimulatedAnnealingScheduler(_ImproverScheduler):
         self.seed = seed
 
     def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        machine = self._machine(machine)
         initial = self._initial_schedule(dag, machine)
         result = simulated_annealing(
             initial,
@@ -123,12 +157,14 @@ class CommHillClimbingScheduler(_ImproverScheduler):
         max_moves: Optional[int] = None,
         time_limit: Optional[float] = None,
         init: Union[str, Scheduler] = "bspg",
+        memory_bound: Optional[object] = None,
     ) -> None:
-        super().__init__(init)
+        super().__init__(init, memory_bound)
         self.max_moves = max_moves
         self.time_limit = time_limit
 
     def schedule(self, dag: ComputationalDAG, machine: BspMachine) -> BspSchedule:
+        machine = self._machine(machine)
         initial = self._initial_schedule(dag, machine)
         return comm_hill_climb(
             initial, max_moves=self.max_moves, time_limit=self.time_limit

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..graphs.dag import ComputationalDAG
 from ..model.cost import superstep_matrices, superstep_row_costs
-from ..model.machine import BspMachine
+from ..model.machine import MEMORY_EPS, BspMachine
 from ..model.schedule import BspSchedule
 
 __all__ = ["LocalSearchState", "Move"]
@@ -79,6 +79,24 @@ class LocalSearchState:
         self._work_list = self._work_of.tolist()
         self._comm_list = self._comm_of.tolist()
         self._numa_list = self.numa.tolist()
+
+        # Memory-constrained model variant: per-node memory weights and the
+        # running per-processor usage, maintained only when the machine
+        # carries bounds (the unconstrained hot path pays nothing).
+        bounds = self.machine.memory_bounds
+        if bounds is None:
+            self._mem_bounds: Optional[List[float]] = None
+            self._mem_list: List[float] = []
+            self.mem_used: List[float] = []
+        else:
+            self._mem_bounds = bounds.tolist()
+            mem = np.asarray(self.dag.memory, dtype=np.float64)
+            self._mem_list = mem.tolist()
+            self.mem_used = (
+                np.bincount(self.proc, weights=mem, minlength=self.P).tolist()
+                if n
+                else [0.0] * self.P
+            )
 
         max_step = int(self.step.max()) if n else 0
         self.S = max_step + 1 + self._SLACK
@@ -207,22 +225,47 @@ class LocalSearchState:
                     hi[p] = bound
         return lo, hi
 
+    def _memory_ok(self, v: int, new_proc: int) -> bool:
+        """Whether moving ``v`` onto ``new_proc`` respects its memory bound.
+
+        This is the memory mask of the move neighbourhood: together with
+        :meth:`is_move_valid` / :meth:`candidate_moves` it keeps every move
+        probed by :meth:`move_deltas` (whose precondition is a valid move)
+        within the per-processor bounds, so the local searches never leave
+        the memory-feasible region once they start inside it.
+        """
+        if self._mem_bounds is None or new_proc == self.proc[v]:
+            return True
+        return (
+            self.mem_used[new_proc] + self._mem_list[v]
+            <= self._mem_bounds[new_proc] + MEMORY_EPS
+        )
+
     def is_move_valid(self, v: int, new_proc: int, new_step: int) -> bool:
         """Check whether moving ``v`` keeps the (lazy-comm) schedule valid.
 
         Assignments of all other nodes are unchanged, so the conditions are
-        local: every predecessor must still be able to deliver its value and
-        every successor must still receive ``v``'s value in time.
+        local: every predecessor must still be able to deliver its value,
+        every successor must still receive ``v``'s value in time, and the
+        target processor must have memory capacity left for ``v`` when the
+        machine is memory-bounded.
         """
         if new_step < 0 or not (0 <= new_proc < self.P):
             return False
         if new_proc == self.proc[v] and new_step == self.step[v]:
             return False
+        if not self._memory_ok(v, new_proc):
+            return False
         lo, hi = self._step_bounds(v)
         return lo[new_proc] <= new_step <= hi[new_proc]
 
     def candidate_moves(self, v: int) -> List[Move]:
-        """All valid moves of ``v`` to any processor in supersteps s-1, s, s+1."""
+        """All valid moves of ``v`` to any processor in supersteps s-1, s, s+1.
+
+        Moves whose target processor lacks memory capacity for ``v`` are
+        masked out, so downstream :meth:`move_deltas` probes only see
+        memory-feasible candidates.
+        """
         s = int(self.step[v])
         p0 = int(self.proc[v])
         lo, hi = self._step_bounds(v)
@@ -231,7 +274,11 @@ class LocalSearchState:
             if target_step < 0:
                 continue
             for p in range(self.P):
-                if lo[p] <= target_step <= hi[p] and not (target_step == s and p == p0):
+                if (
+                    lo[p] <= target_step <= hi[p]
+                    and not (target_step == s and p == p0)
+                    and self._memory_ok(v, p)
+                ):
                     moves.append((v, p, target_step))
         return moves
 
@@ -281,6 +328,10 @@ class LocalSearchState:
         # the post-move assignment.
         self.proc[v] = new_proc
         self.step[v] = new_step
+        if self._mem_bounds is not None and new_proc != old_proc:
+            m_v = self._mem_list[v]
+            self.mem_used[old_proc] -= m_v
+            self.mem_used[new_proc] += m_v
 
         # --- incoming transfers (v as a consumer of its predecessors) ------
         # The only target processors whose "first needed" superstep can

@@ -13,6 +13,13 @@ The paper's NUMA experiments use a binary-tree hierarchy over the processors
 where the per-unit cost grows by a factor ``delta`` for every level of the
 hierarchy that a message has to cross; :meth:`BspMachine.hierarchical`
 constructs exactly that matrix.
+
+The *memory-constrained* model variant additionally gives every processor a
+memory bound: the total memory weight of the nodes co-resident on a
+processor must not exceed its bound.  The optional ``memory_bound``
+attribute (a scalar applied to every processor, or one value per processor)
+carries that constraint; schedulers that are memory-aware consult it through
+:attr:`BspMachine.memory_bounds`, and schedule validation enforces it.
 """
 
 from __future__ import annotations
@@ -22,7 +29,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["BspMachine", "MachineValidationError"]
+__all__ = ["BspMachine", "MachineValidationError", "MEMORY_EPS"]
+
+#: Shared feasibility tolerance of the memory-constrained model: every layer
+#: that compares memory usage against a bound (schedule validation, greedy
+#: placement, local-search move filter, repair) uses this same epsilon, so a
+#: placement admitted by one layer is never rejected by another.
+MEMORY_EPS = 1e-9
 
 
 class MachineValidationError(ValueError):
@@ -37,12 +50,30 @@ class BspMachine:
     g: float = 1.0
     l: float = 0.0
     numa: Optional[np.ndarray] = None
+    #: Per-processor memory bound of the memory-constrained model variant;
+    #: ``None`` (the default) disables the constraint.  A scalar is broadcast
+    #: to every processor; a sequence must have one entry per processor.
+    memory_bound: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.P <= 0:
             raise MachineValidationError("P must be positive")
         if self.g < 0 or self.l < 0:
             raise MachineValidationError("g and l must be non-negative")
+        if self.memory_bound is not None:
+            bounds = np.asarray(self.memory_bound, dtype=np.float64)
+            if bounds.ndim == 0:
+                bounds = np.full(self.P, float(bounds))
+            if bounds.shape != (self.P,):
+                raise MachineValidationError(
+                    f"memory_bound must be a scalar or have one entry per processor "
+                    f"(P={self.P}), got shape {bounds.shape}"
+                )
+            # Strictly positive so that 0 can unambiguously mean "unbounded"
+            # in flat exports (MachineSpec.describe, sweep CSV columns).
+            if not np.all(np.isfinite(bounds)) or np.any(bounds <= 0):
+                raise MachineValidationError("memory bounds must be finite and positive")
+            self.memory_bound = bounds
         if self.numa is None:
             numa = np.ones((self.P, self.P), dtype=np.float64)
             np.fill_diagonal(numa, 0.0)
@@ -137,6 +168,26 @@ class BspMachine:
         """True if all off-diagonal NUMA coefficients equal 1 (plain BSP)."""
         return self._uniform
 
+    @property
+    def has_memory_bounds(self) -> bool:
+        """True if the machine carries per-processor memory bounds."""
+        return self.memory_bound is not None
+
+    @property
+    def memory_bounds(self) -> Optional[np.ndarray]:
+        """Per-processor memory bounds as a float array, or ``None``."""
+        return self.memory_bound
+
+    def with_memory_bound(self, bound: Optional[object]) -> "BspMachine":
+        """Copy of this machine with the memory bound replaced (``None`` clears)."""
+        return BspMachine(
+            P=self.P, g=self.g, l=self.l, numa=self.numa.copy(), memory_bound=bound
+        )
+
+    def without_memory_bound(self) -> "BspMachine":
+        """Copy of this machine with no memory constraint."""
+        return self.with_memory_bound(None)
+
     def coefficient(self, p1: int, p2: int) -> float:
         """Per-unit cost ``lambda[p1, p2]`` of sending data from p1 to p2."""
         return float(self.numa[p1, p2])
@@ -168,12 +219,20 @@ class BspMachine:
             g=self.g if g is None else g,
             l=self.l if l is None else l,
             numa=self.numa.copy(),
+            memory_bound=None if self.memory_bound is None else self.memory_bound.copy(),
         )
 
     def describe(self) -> str:
         """One-line human readable summary."""
         kind = "uniform" if self.is_uniform else "NUMA"
-        return f"BspMachine(P={self.P}, g={self.g}, l={self.l}, {kind})"
+        mem = ""
+        if self.memory_bound is not None:
+            bounds = self.memory_bound
+            if np.all(bounds == bounds[0]):
+                mem = f", mem<={bounds[0]:g}"
+            else:
+                mem = f", mem<=[{', '.join(f'{b:g}' for b in bounds)}]"
+        return f"BspMachine(P={self.P}, g={self.g}, l={self.l}, {kind}{mem})"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return self.describe()

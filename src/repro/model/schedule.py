@@ -22,7 +22,7 @@ import numpy as np
 
 from ..graphs.dag import ComputationalDAG
 from .comm import CommEntry, CommSchedule
-from .machine import BspMachine
+from .machine import MEMORY_EPS, BspMachine
 
 __all__ = ["BspSchedule", "ScheduleValidationError", "legalize_superstep_assignment"]
 
@@ -137,6 +137,16 @@ class BspSchedule:
         """``(processor, superstep)`` of node ``v``."""
         return int(self.proc[v]), int(self.step[v])
 
+    def memory_usage(self) -> np.ndarray:
+        """Total memory weight of the nodes co-resident on each processor."""
+        if self.dag.n == 0:
+            return np.zeros(self.machine.P, dtype=np.float64)
+        return np.bincount(
+            self.proc,
+            weights=np.asarray(self.dag.memory, dtype=np.float64),
+            minlength=self.machine.P,
+        )
+
     # ------------------------------------------------------------------
     # Communication handling
     # ------------------------------------------------------------------
@@ -211,7 +221,10 @@ class BspSchedule:
            ``tau(v)``;
         2. every communication step must send a value that is actually
            present on the sending processor at that time (either computed
-           there early enough or received by an earlier communication step).
+           there early enough or received by an earlier communication step);
+        3. when the machine carries per-processor memory bounds (the
+           memory-constrained model variant), the total memory weight of the
+           nodes co-resident on each processor must not exceed its bound.
         """
         errors: List[str] = []
         P = self.machine.P
@@ -224,6 +237,15 @@ class BspSchedule:
         if np.any(self.step < 0):
             errors.append("negative superstep assignment")
             return errors
+
+        bounds = self.machine.memory_bounds
+        if bounds is not None:
+            usage = self.memory_usage()
+            for p in np.nonzero(usage > bounds + MEMORY_EPS)[0]:
+                errors.append(
+                    f"memory bound exceeded on processor {int(p)}: "
+                    f"{usage[p]:g} > {bounds[p]:g}"
+                )
 
         comm = self.effective_comm_schedule()
 

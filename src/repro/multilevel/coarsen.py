@@ -87,6 +87,7 @@ def coarse_dag_from_partition(
     num_clusters = len(reps)
     work = np.bincount(mapping, weights=dag.work, minlength=num_clusters).astype(np.int64)
     comm = np.bincount(mapping, weights=dag.comm, minlength=num_clusters).astype(np.int64)
+    memory = np.bincount(mapping, weights=dag.memory, minlength=num_clusters).astype(np.int64)
     edges: List[Tuple[int, int]] = []
     if dag.num_edges:
         cu = mapping[dag.edge_sources]
@@ -95,7 +96,9 @@ def coarse_dag_from_partition(
         if np.any(keep):
             pairs = np.unique(np.stack([cu[keep], cv[keep]], axis=1), axis=0)
             edges = [tuple(pair) for pair in pairs.tolist()]
-    coarse = ComputationalDAG(num_clusters, edges, work, comm, name=f"{dag.name}-coarse")
+    coarse = ComputationalDAG(
+        num_clusters, edges, work, comm, name=f"{dag.name}-coarse", memory=memory
+    )
     return coarse, mapping
 
 

@@ -6,6 +6,15 @@ step by step while refining with bounded hill climbing, and finally optimize
 the communication schedule of the resulting original-DAG schedule with HCcs
 and ILPcs.  The whole procedure is run for each configured coarsening ratio
 (30% and 15% in the paper) and the cheapest result is returned.
+
+Memory-constrained variant: with per-processor memory bounds (either on the
+machine or via ``MultilevelConfig.memory_bound``), the coarse solve runs on
+the unconstrained machine, its schedule is repaired into the feasible region
+(coarse memory weights are the summed fine weights, so a feasible coarse
+assignment projects to a feasible fine assignment), and every refinement
+hill climb then respects the bounds through the local-search move filter.
+The feasibility fallback candidate is the memory-aware greedy schedule
+instead of the (generally infeasible) trivial sequential one.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
 from ..pipeline.config import MultilevelConfig, PipelineConfig
 from ..pipeline.framework import run_pipeline
-from ..scheduler import Scheduler
+from ..scheduler import Scheduler, SchedulingError
 from .coarsen import coarsen_dag
 from .refine import RefinementConfig, uncoarsen_and_refine
 
@@ -39,6 +48,9 @@ def multilevel_schedule(
     """
     if config is None:
         config = MultilevelConfig()
+    if config.memory_bound is not None:
+        machine = machine.with_memory_bound(config.memory_bound)
+    bounded = machine.has_memory_bounds
     base_config = config.base_pipeline.without_ilp_cs()
     refinement = RefinementConfig(
         refine_interval=config.refine_interval,
@@ -50,8 +62,21 @@ def multilevel_schedule(
     # zero-cost candidate so the multilevel scheduler never returns a
     # solution worse than the trivial baseline (the property the paper
     # highlights for communication-dominated instances, Section 7.3).
-    best_schedule: BspSchedule = BspSchedule.trivial(dag, machine)
-    best_cost = float(best_schedule.cost())
+    # Under memory bounds the trivial schedule is generally infeasible, so
+    # the memory-aware greedy takes over as the feasibility fallback — but
+    # only as a *candidate*: its first-fit placement can fail on tight
+    # instances the repair-based per-ratio path still schedules.
+    best_schedule: Optional[BspSchedule] = None
+    if bounded:
+        from ..baselines.memory import MemoryAwareGreedyScheduler, repair_memory
+
+        try:
+            best_schedule = MemoryAwareGreedyScheduler().schedule(dag, machine)
+        except SchedulingError:
+            pass
+    else:
+        best_schedule = BspSchedule.trivial(dag, machine)
+    best_cost = float(best_schedule.cost()) if best_schedule is not None else float("inf")
     per_ratio_cost: Dict[float, float] = {}
 
     for ratio in config.coarsening_ratios:
@@ -60,9 +85,24 @@ def multilevel_schedule(
         sequence = coarsen_dag(dag, target, light_fraction=config.light_edge_fraction)
         coarse_dag, _ = sequence.coarse_dag_after(sequence.num_contractions)
 
-        coarse_result = run_pipeline(coarse_dag, machine, base_config)
+        # The base pipeline is not memory-aware: solve the coarse DAG
+        # unconstrained, then repair the result into the feasible region
+        # before the bound-respecting refinement takes over.
+        solve_machine = machine.without_memory_bound() if bounded else machine
+        coarse_result = run_pipeline(coarse_dag, solve_machine, base_config)
+        coarse_schedule = coarse_result.schedule.without_comm()
+        if bounded:
+            coarse_schedule = BspSchedule(
+                coarse_dag, machine, coarse_schedule.proc, coarse_schedule.step
+            )
+            try:
+                coarse_schedule = repair_memory(coarse_schedule)
+            except SchedulingError:
+                # Cluster granularity too coarse for the bound at this
+                # ratio; the fallback candidate keeps the result feasible.
+                continue
         refined = uncoarsen_and_refine(
-            sequence, machine, coarse_result.schedule.without_comm(), config=refinement
+            sequence, machine, coarse_schedule, config=refinement
         )
 
         # Communication scheduling is run on the original DAG only — the
@@ -82,7 +122,12 @@ def multilevel_schedule(
             best_cost = cost
             best_schedule = refined
 
-    assert best_schedule is not None
+    if best_schedule is None:
+        raise SchedulingError(
+            "multilevel scheduler found no memory-feasible schedule: the "
+            "greedy fallback and every coarsening ratio failed under the "
+            "per-processor memory bounds"
+        )
     return best_schedule, per_ratio_cost
 
 

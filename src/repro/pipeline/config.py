@@ -141,12 +141,19 @@ class MultilevelConfig:
     light_edge_fraction: float = 1.0 / 3.0
     refine_interval: int = 5
     hc_moves_per_refinement: int = 100
+    #: Optional per-processor memory bound applied to the machine before
+    #: scheduling (``multilevel(memory_bound=...)`` spec strings); a scalar
+    #: is broadcast, a tuple gives one value per processor.  ``None`` keeps
+    #: whatever bound the machine itself carries.
+    memory_bound: Optional[object] = None
     base_pipeline: PipelineConfig = field(default_factory=PipelineConfig.fast)
 
     def __post_init__(self) -> None:
         # Spec strings deliver ratio lists as tuples/lists of numbers; keep
         # the stored form a tuple so configs compare (and hash) by value.
         self.coarsening_ratios = tuple(float(r) for r in self.coarsening_ratios)
+        if isinstance(self.memory_bound, (list, tuple)):
+            self.memory_bound = tuple(float(b) for b in self.memory_bound)
 
     # ------------------------------------------------------------------
     # Registry / spec-string support

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from .baselines.cilk import CilkScheduler
 from .baselines.hdagg import HDaggScheduler
 from .baselines.list_schedulers import BlEstScheduler, EtfScheduler
+from .baselines.memory import MemoryAwareGreedyScheduler
 from .baselines.trivial import LevelRoundRobinScheduler, TrivialScheduler
 from .heuristics.bspg import BspGreedyScheduler
 from .heuristics.source import SourceScheduler
@@ -55,6 +56,7 @@ __all__ = [
     "TABLE_LABELS",
     "available_schedulers",
     "canonical_scheduler_spec",
+    "canonical_table_label",
     "format_scheduler_spec",
     "make_scheduler",
     "parse_scheduler_spec",
@@ -396,6 +398,16 @@ def _make_trivial() -> Scheduler:
 
 
 @register_scheduler(
+    "greedy-mem",
+    description="Memory-aware greedy list scheduler (respects per-processor memory bounds)",
+    deterministic=True,
+    numa_aware=False,
+)
+def _make_greedy_mem(memory_bound: Optional[object] = None, policy: str = "est") -> Scheduler:
+    return MemoryAwareGreedyScheduler(memory_bound=memory_bound, policy=policy)
+
+
+@register_scheduler(
     "level-rr",
     description="Level-by-level round-robin assignment",
     deterministic=True,
@@ -480,6 +492,7 @@ def _make_hc(
     max_passes: Optional[int] = None,
     time_limit: Optional[float] = None,
     init: str = "bspg",
+    memory_bound: Optional[object] = None,
 ) -> Scheduler:
     return HillClimbingScheduler(
         variant=variant,
@@ -487,6 +500,7 @@ def _make_hc(
         max_passes=max_passes,
         time_limit=time_limit,
         init=init,
+        memory_bound=memory_bound,
     )
 
 
@@ -500,8 +514,11 @@ def _make_hccs(
     max_moves: Optional[int] = None,
     time_limit: Optional[float] = None,
     init: str = "bspg",
+    memory_bound: Optional[object] = None,
 ) -> Scheduler:
-    return CommHillClimbingScheduler(max_moves=max_moves, time_limit=time_limit, init=init)
+    return CommHillClimbingScheduler(
+        max_moves=max_moves, time_limit=time_limit, init=init, memory_bound=memory_bound
+    )
 
 
 @register_scheduler(
@@ -517,6 +534,7 @@ def _make_sa(
     time_limit: Optional[float] = None,
     seed: Optional[int] = 0,
     init: str = "bspg",
+    memory_bound: Optional[object] = None,
 ) -> Scheduler:
     return SimulatedAnnealingScheduler(
         steps=steps,
@@ -525,6 +543,7 @@ def _make_sa(
         time_limit=time_limit,
         seed=seed,
         init=init,
+        memory_bound=memory_bound,
     )
 
 
@@ -630,9 +649,23 @@ TABLE_LABELS: Dict[str, str] = {
     "BL-EST": "bl-est",
     "ETF": "etf",
     "Trivial": "trivial",
+    "GreedyMem": "greedy-mem",
 }
 
 _LABEL_LOOKUP: Dict[str, str] = {label.lower(): name for label, name in TABLE_LABELS.items()}
+_CANONICAL_LABELS: Dict[str, str] = {label.lower(): label for label in TABLE_LABELS}
+
+
+def canonical_table_label(label: str) -> Optional[str]:
+    """The canonical spelling of a known table label, or ``None``.
+
+    ``"cilk"`` / ``"CILK"`` / ``"Cilk"`` all map to ``"Cilk"``; labels that
+    are not registry table labels (stage labels like ``"Init"``, spec
+    strings, ...) return ``None`` so callers can fall back to their own
+    resolution.  This is the single case-insensitive label authority the
+    experiment layer routes its cost lookups through.
+    """
+    return _CANONICAL_LABELS.get(label.strip().lower())
 
 
 def registry_name_for_label(label: str) -> str:

@@ -26,6 +26,7 @@ every spec class; :meth:`SolveResult.to_dict` is deterministic by default
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -86,6 +87,9 @@ class DagSpec:
     work: Optional[Tuple[int, ...]] = None
     comm: Optional[Tuple[int, ...]] = None
     name: Optional[str] = None
+    #: Per-node memory weights of the memory-constrained model variant
+    #: (inline source only); omitted weights default to the work weights.
+    memory: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.source not in _DAG_SOURCES:
@@ -96,6 +100,8 @@ class DagSpec:
             object.__setattr__(self, "work", tuple(int(w) for w in self.work))
         if self.comm is not None:
             object.__setattr__(self, "comm", tuple(int(c) for c in self.comm))
+        if self.memory is not None:
+            object.__setattr__(self, "memory", tuple(int(m) for m in self.memory))
         if self.source == "generator" and not self.kind:
             raise SpecError("generator DAG specs need a 'kind'")
         if self.source == "hyperdag" and not self.path:
@@ -118,7 +124,14 @@ class DagSpec:
 
     @classmethod
     def from_dag(cls, dag: ComputationalDAG) -> "DagSpec":
-        """Inline spec embedding an existing DAG (edges are deduplicated/sorted)."""
+        """Inline spec embedding an existing DAG (edges are deduplicated/sorted).
+
+        Memory weights are only embedded when they differ from the work
+        weights (their default), keeping the common case compact.
+        """
+        memory = None
+        if not np.array_equal(np.asarray(dag.memory), np.asarray(dag.work)):
+            memory = tuple(int(m) for m in np.asarray(dag.memory))
         return cls(
             source="inline",
             n=int(dag.n),
@@ -126,6 +139,7 @@ class DagSpec:
             work=tuple(int(w) for w in np.asarray(dag.work)),
             comm=tuple(int(c) for c in np.asarray(dag.comm)),
             name=dag.name,
+            memory=memory,
         )
 
     # ------------------------------------------------------------------
@@ -147,6 +161,7 @@ class DagSpec:
                 work=list(self.work) if self.work is not None else None,
                 comm=list(self.comm) if self.comm is not None else None,
                 name=self.name or "inline",
+                memory=list(self.memory) if self.memory is not None else None,
             )
         from .graphs.coarse import COARSE_GRAINED_GENERATORS, generate_coarse_grained
         from .graphs.fine import FINE_GRAINED_GENERATORS, generate_fine_grained
@@ -182,6 +197,8 @@ class DagSpec:
                 out["work"] = list(self.work)
             if self.comm is not None:
                 out["comm"] = list(self.comm)
+            if self.memory is not None:
+                out["memory"] = list(self.memory)
         if self.name is not None:
             out["name"] = self.name
         return out
@@ -207,6 +224,7 @@ class DagSpec:
                 work=tuple(data["work"]) if data.get("work") is not None else None,
                 comm=tuple(data["comm"]) if data.get("comm") is not None else None,
                 name=data.get("name"),
+                memory=tuple(data["memory"]) if data.get("memory") is not None else None,
             )
         raise SpecError(f"unknown DAG source {source!r}; expected one of {_DAG_SOURCES}")
 
@@ -220,6 +238,9 @@ class MachineSpec:
     processor ``groups`` with intra/inter coefficients; with none of them
     the machine is uniform.  Setting more than one is rejected so the JSON
     round trip stays an identity.
+
+    ``memory_bound`` opts into the memory-constrained model variant: a
+    scalar bound applied to every processor, or one value per processor.
     """
 
     P: int
@@ -230,6 +251,7 @@ class MachineSpec:
     intra: float = 1.0
     inter: float = 4.0
     numa: Optional[Tuple[Tuple[float, ...], ...]] = None
+    memory_bound: Optional[Union[float, Tuple[float, ...]]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "P", int(self.P))
@@ -247,6 +269,23 @@ class MachineSpec:
             )
         if self.P <= 0:
             raise SpecError("P must be positive")
+        if self.memory_bound is not None:
+            if isinstance(self.memory_bound, (list, tuple)):
+                bounds = tuple(float(b) for b in self.memory_bound)
+                if len(bounds) != self.P:
+                    raise SpecError(
+                        f"memory_bound needs one entry per processor (P={self.P}), "
+                        f"got {len(bounds)}"
+                    )
+                object.__setattr__(self, "memory_bound", bounds)
+            else:
+                bounds = (float(self.memory_bound),)
+                object.__setattr__(self, "memory_bound", bounds[0])
+            # Mirror BspMachine's rule (strictly positive, finite) so a bad
+            # bound fails at spec-construction time with a SpecError — and
+            # never reaches JSON as non-compliant NaN/Infinity literals.
+            if not all(math.isfinite(b) and b > 0 for b in bounds):
+                raise SpecError("memory bounds must be finite and positive")
         given = [
             name
             for name, value in (("delta", self.delta), ("groups", self.groups), ("numa", self.numa))
@@ -262,30 +301,56 @@ class MachineSpec:
     @classmethod
     def from_machine(cls, machine: BspMachine) -> "MachineSpec":
         """Spec capturing an existing machine (explicit matrix when non-uniform)."""
+        memory_bound: Optional[Union[float, Tuple[float, ...]]] = None
+        if machine.memory_bounds is not None:
+            bounds = machine.memory_bounds
+            if np.all(bounds == bounds[0]):
+                memory_bound = float(bounds[0])
+            else:
+                memory_bound = tuple(float(b) for b in bounds)
         if machine.is_uniform:
-            return cls(P=machine.P, g=machine.g, l=machine.l)
+            return cls(P=machine.P, g=machine.g, l=machine.l, memory_bound=memory_bound)
         return cls(
             P=machine.P,
             g=machine.g,
             l=machine.l,
             numa=tuple(tuple(float(x) for x in row) for row in np.asarray(machine.numa)),
+            memory_bound=memory_bound,
         )
 
     def build(self) -> BspMachine:
         """Materialize the machine this spec describes."""
         if self.numa is not None:
-            return BspMachine(P=self.P, g=self.g, l=self.l, numa=np.asarray(self.numa, dtype=float))
-        if self.delta is not None:
-            return BspMachine.hierarchical(P=self.P, delta=self.delta, g=self.g, l=self.l)
-        if self.groups is not None:
-            return BspMachine.from_groups(
+            machine = BspMachine(P=self.P, g=self.g, l=self.l, numa=np.asarray(self.numa, dtype=float))
+        elif self.delta is not None:
+            machine = BspMachine.hierarchical(P=self.P, delta=self.delta, g=self.g, l=self.l)
+        elif self.groups is not None:
+            machine = BspMachine.from_groups(
                 self.groups, intra=self.intra, inter=self.inter, g=self.g, l=self.l
             )
-        return BspMachine(P=self.P, g=self.g, l=self.l)
+        else:
+            machine = BspMachine(P=self.P, g=self.g, l=self.l)
+        if self.memory_bound is not None:
+            machine = machine.with_memory_bound(self.memory_bound)
+        return machine
 
     def describe(self) -> Dict[str, object]:
-        """Flat summary used by sweep CSV exports (delta 0 when uniform)."""
-        return {"P": self.P, "g": self.g, "l": self.l, "delta": self.delta if self.delta is not None else 0}
+        """Flat summary used by sweep CSV exports (delta / memory_bound 0 when
+        absent; per-processor bounds are summarized by their minimum, the
+        binding constraint)."""
+        if self.memory_bound is None:
+            memory_bound = 0.0
+        elif isinstance(self.memory_bound, tuple):
+            memory_bound = float(min(self.memory_bound))
+        else:
+            memory_bound = float(self.memory_bound)
+        return {
+            "P": self.P,
+            "g": self.g,
+            "l": self.l,
+            "delta": self.delta if self.delta is not None else 0,
+            "memory_bound": memory_bound,
+        }
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -299,11 +364,20 @@ class MachineSpec:
             out["groups"] = list(self.groups)
             out["intra"] = self.intra
             out["inter"] = self.inter
+        if self.memory_bound is not None:
+            out["memory_bound"] = (
+                list(self.memory_bound)
+                if isinstance(self.memory_bound, tuple)
+                else self.memory_bound
+            )
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":
         """Rebuild a spec written by :meth:`to_dict`."""
+        memory_bound = data.get("memory_bound")
+        if isinstance(memory_bound, (list, tuple)):
+            memory_bound = tuple(memory_bound)
         return cls(
             P=data["P"],
             g=data.get("g", 1.0),
@@ -313,6 +387,7 @@ class MachineSpec:
             intra=data.get("intra", 1.0),
             inter=data.get("inter", 4.0),
             numa=tuple(tuple(row) for row in data["numa"]) if data.get("numa") is not None else None,
+            memory_bound=memory_bound,
         )
 
 

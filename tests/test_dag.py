@@ -222,3 +222,106 @@ class TestEquality:
         other = ComputationalDAG(4, list(diamond_dag.edges), [1, 1, 1, 1], diamond_dag.comm)
         assert other != diamond_dag
         assert diamond_dag != "not a dag"
+
+
+class TestMemoryWeights:
+    def test_memory_defaults_to_work(self):
+        dag = ComputationalDAG(3, [(0, 1)], work=[2, 3, 4])
+        assert list(dag.memory) == [2, 3, 4]
+        assert dag.total_memory() == 9
+
+    def test_explicit_memory_round_trips_through_derived_graphs(self):
+        dag = ComputationalDAG(
+            4, [(0, 1), (1, 2), (2, 3)], work=[1, 1, 1, 1], memory=[5, 1, 2, 3]
+        )
+        sub, mapping = dag.subgraph([1, 2, 3])
+        assert list(sub.memory) == [1, 2, 3]
+        assert list(dag.reversed_dag().memory) == [5, 1, 2, 3]
+        assert list(dag.relabeled([3, 2, 1, 0]).memory) == [3, 2, 1, 5]
+
+    def test_contraction_sums_memory(self):
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)], memory=[4, 2, 1])
+        contracted, mapping = dag.contract_edge(0, 1)
+        assert list(contracted.memory) == [6, 1]
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(DagValidationError):
+            ComputationalDAG(2, [(0, 1)], memory=[1, -1])
+
+    def test_memory_participates_in_equality(self):
+        a = ComputationalDAG(2, [(0, 1)], work=[1, 1], memory=[1, 1])
+        b = ComputationalDAG(2, [(0, 1)], work=[1, 1], memory=[2, 1])
+        assert a != b
+
+    def test_networkx_round_trip_keeps_memory(self):
+        pytest.importorskip("networkx")
+        dag = ComputationalDAG(3, [(0, 1), (1, 2)], work=[1, 2, 3], memory=[7, 8, 9])
+        assert list(ComputationalDAG.from_networkx(dag.to_networkx()).memory) == [7, 8, 9]
+
+
+class TestCacheHandling:
+    """The topological order and CSR arrays are cached.  The structure is
+    documented immutable; the one supported mutation — replacing ``edges`` —
+    rebuilds adjacency, caches and validity eagerly through ``__setattr__``,
+    and a future helper mutating the adjacency in place must call
+    ``_invalidate()``."""
+
+    def test_invalidate_clears_caches(self, diamond_dag):
+        diamond_dag.topological_order()
+        _ = diamond_dag.succ_indptr
+        diamond_dag._invalidate()
+        assert diamond_dag._topo_cache is None
+        assert diamond_dag._csr_cache is None
+
+    def test_replaced_edge_list_does_not_serve_stale_structure(self):
+        dag = ComputationalDAG(3, [(0, 1)])
+        assert dag.succ_indices.tolist() == [1]  # populate the CSR cache
+        order = dag.topological_order()          # and the topo cache
+        dag.edges = [(0, 1), (1, 2)]
+        # Everything structural reflects the replacement: CSR, adjacency
+        # lists, degrees and the topological order.
+        assert dag.num_edges == 2
+        assert dag.succ_indices.tolist() == [1, 2]
+        assert dag.pred_indices.tolist() == [0, 1]
+        assert dag.children(1) == [2]
+        assert dag.parents(2) == [1]
+        assert dag.topological_order() == [0, 1, 2]
+
+    def test_replacement_revalidates_acyclicity_and_range(self):
+        dag = ComputationalDAG(2, [(0, 1)])
+        with pytest.raises(DagValidationError):
+            dag.edges = [(0, 1), (1, 0)]  # cycle
+        dag2 = ComputationalDAG(2, [(0, 1)])
+        with pytest.raises(DagValidationError):
+            dag2.edges = [(0, 5)]  # out of range
+
+    def test_rejected_replacement_leaves_structure_unchanged(self):
+        dag = ComputationalDAG(3, [(0, 1)])
+        for bad in ([(0, 1), (1, 2), (2, 0)], [(0, 7)]):
+            with pytest.raises(DagValidationError):
+                dag.edges = bad
+            # The rejected edge set must not be partially committed.
+            assert dag.edges == ((0, 1),)
+            assert dag.children(0) == [1] and dag.children(1) == []
+            order = dag.topological_order()
+            assert sorted(order) == [0, 1, 2]
+            assert order.index(0) < order.index(1)
+
+    def test_replacement_normalizes_to_sorted_deduped_tuple(self):
+        dag = ComputationalDAG(3, [(0, 1)])
+        dag.edges = [(1, 2), (0, 1), (1, 2)]
+        assert dag.edges == ((0, 1), (1, 2))
+        assert isinstance(dag.edges, tuple)
+
+    def test_unchanged_edges_keep_the_cache_object(self, diamond_dag):
+        first = diamond_dag.succ_indptr
+        second = diamond_dag.succ_indptr
+        assert first is second
+
+    def test_in_place_edge_mutation_is_impossible(self, diamond_dag):
+        # Edges are a tuple precisely so that in-place mutation (which no
+        # replacement hook could observe) cannot happen.
+        with pytest.raises((TypeError, AttributeError)):
+            diamond_dag.edges[0] = (0, 3)
+        with pytest.raises((TypeError, AttributeError)):
+            diamond_dag.edges.append((0, 3))

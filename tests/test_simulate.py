@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines.hdagg import HDaggScheduler
+from repro.baselines.trivial import LevelRoundRobinScheduler
 from repro.graphs.dag import ComputationalDAG
+from repro.model.cost import evaluate
 from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 from repro.model.simulate import simulate_timeline
@@ -73,3 +76,65 @@ class TestTimelineStructure:
         timeline = simulate_timeline(sched)
         ordered = timeline.executions_on(0)
         assert [e.node for e in ordered] == list(chain_dag.topological_order())
+
+
+# ----------------------------------------------------------------------
+# Property test of the docstring invariant: the makespan of the expanded
+# timeline equals the schedule's total cost, for any valid schedule on any
+# machine (uniform or NUMA), including empty and single-superstep ones.
+# ----------------------------------------------------------------------
+@st.composite
+def _random_dags(draw, max_nodes: int = 14):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        num_parents = draw(st.integers(min_value=0, max_value=min(3, v)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=v - 1),
+                min_size=num_parents,
+                max_size=num_parents,
+                unique=True,
+            )
+        )
+        edges.extend((u, v) for u in parents)
+    work = draw(st.lists(st.integers(min_value=0, max_value=5), min_size=n, max_size=n))
+    comm = draw(st.lists(st.integers(min_value=0, max_value=4), min_size=n, max_size=n))
+    return ComputationalDAG(n, edges, work, comm, name="hypothesis")
+
+
+@st.composite
+def _machines(draw):
+    P = draw(st.sampled_from([1, 2, 4, 8]))
+    g = draw(st.sampled_from([0.0, 1.0, 3.0]))
+    latency = draw(st.sampled_from([0.0, 1.0, 5.0]))
+    if draw(st.booleans()) and P >= 2:
+        delta = draw(st.sampled_from([2.0, 3.0]))
+        return BspMachine.hierarchical(P=P, delta=delta, g=g, l=latency)
+    return BspMachine(P=P, g=g, l=latency)
+
+
+class TestMakespanInvariantProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(dag=_random_dags(), machine=_machines())
+    def test_makespan_equals_total_cost_multi_superstep(self, dag, machine):
+        schedule = LevelRoundRobinScheduler().schedule(dag, machine)
+        assert schedule.is_valid()
+        timeline = simulate_timeline(schedule)
+        assert timeline.makespan == pytest.approx(evaluate(schedule).total)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=_random_dags(), machine=_machines())
+    def test_makespan_equals_total_cost_single_superstep(self, dag, machine):
+        schedule = BspSchedule.trivial(dag, machine)
+        timeline = simulate_timeline(schedule)
+        assert timeline.makespan == pytest.approx(evaluate(schedule).total)
+        assert schedule.num_supersteps <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(machine=_machines())
+    def test_empty_schedule_has_zero_makespan(self, machine):
+        dag = ComputationalDAG(0, [])
+        schedule = BspSchedule.trivial(dag, machine)
+        assert simulate_timeline(schedule).makespan == 0.0
+        assert evaluate(schedule).total == 0.0
