@@ -1,0 +1,119 @@
+"""Benchmarks of the portfolio subsystem.
+
+Two claims are demonstrated on the tiny/small datasets:
+
+* **cached re-solve speedup** — a warm-cache portfolio solve (content-
+  addressed hit, no scheduler invoked) is much faster than the cold solve
+  that populated the cache, and returns a byte-identical result;
+* **rules-mode quality** — the feature-rule portfolio tracks the best
+  single registered heuristic per instance and never does worse than the
+  worst one (the selection premise of the paper: no single scheduler
+  dominates, so picking per instance beats committing to one).
+
+Printed tables land in ``benchmarks/results/`` like the paper-table
+benches.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro import api
+from repro.experiments.report import Table, geometric_mean
+from repro.model.machine import BspMachine
+from repro.registry import make_scheduler
+from repro.spec import ProblemSpec, SolveRequest
+
+#: The single-scheduler field the rules portfolio is compared against.
+HEURISTICS = ("cilk", "hdagg", "bl-est", "etf", "bspg", "source")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return BspMachine(P=4, g=2, l=5)
+
+
+def test_portfolio_cached_resolve_speedup(benchmark, tiny_dataset, machine, tmp_path_factory, emit):
+    """Warm-cache re-solve: byte-identical results, order-of-magnitude faster."""
+    cache_dir = tmp_path_factory.mktemp("portfolio-cache")
+    requests = [
+        SolveRequest(
+            spec=ProblemSpec.from_instance(dag, machine),
+            scheduler=f"portfolio(cache='{cache_dir}')",
+        )
+        for dag in tiny_dataset
+    ]
+
+    cold_start = time.perf_counter()
+    cold = [api.solve(request) for request in requests]
+    cold_seconds = time.perf_counter() - cold_start
+
+    def warm_run():
+        return [api.solve(request) for request in requests]
+
+    warm = run_once(benchmark, warm_run)
+    warm_seconds = sum(r.wall_seconds for r in warm)
+
+    assert [r.to_json() for r in warm] == [r.to_json() for r in cold]
+
+    table = Table(
+        title="Portfolio cache: cold vs warm re-solve (tiny dataset)",
+        headers=["metric", "value"],
+    )
+    table.add_row("instances", len(requests))
+    table.add_row("cold solve seconds", f"{cold_seconds:.3f}")
+    table.add_row("warm solve seconds", f"{warm_seconds:.3f}")
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    table.add_row("speedup", f"{speedup:.1f}x")
+    table.add_note("warm results are byte-identical to the cold run")
+    emit(table)
+    # The warm pass must not re-run the schedulers; anything close to the
+    # cold wall-clock means the cache did not serve.
+    assert warm_seconds < cold_seconds
+
+
+def test_portfolio_rules_vs_single_schedulers(benchmark, tiny_dataset, small_dataset, machine, emit):
+    """Rules-mode quality: geometric-mean cost ratio vs each fixed heuristic."""
+    datasets = {"tiny": tiny_dataset, "small": small_dataset}
+
+    def run():
+        costs = {}
+        for name, dags in datasets.items():
+            for dag in dags:
+                per_instance = {
+                    h: make_scheduler(h).schedule_checked(dag, machine).cost()
+                    for h in HEURISTICS
+                }
+                portfolio = make_scheduler("portfolio")
+                per_instance["portfolio"] = portfolio.schedule_checked(dag, machine).cost()
+                per_instance["_chosen"] = portfolio.last_chosen
+                costs[(name, dag.name)] = per_instance
+        return costs
+
+    costs = run_once(benchmark, run)
+
+    table = Table(
+        title="Portfolio rules vs single schedulers (geomean cost ratio, lower is better)",
+        headers=["algorithm"] + [name for name in datasets],
+    )
+    for algorithm in HEURISTICS + ("portfolio",):
+        row = [algorithm]
+        for dataset in datasets:
+            ratios = [
+                per[algorithm] / per["portfolio"]
+                for key, per in costs.items()
+                if key[0] == dataset and per["portfolio"] > 0
+            ]
+            row.append(f"{geometric_mean(ratios):.3f}")
+        table.add_row(*row)
+    chosen = sorted({per["_chosen"] for per in costs.values()})
+    table.add_note("ratios are relative to the portfolio (1.000)")
+    table.add_note(f"schedulers chosen by the rules: {', '.join(chosen)}")
+    emit(table)
+
+    # Acceptance shape: never worse than the worst heuristic, per instance.
+    for key, per in costs.items():
+        worst = max(per[h] for h in HEURISTICS)
+        assert per["portfolio"] <= worst, (key, per)

@@ -64,6 +64,13 @@ from .model import describe_schedule, schedule_to_text_gantt
 # pipeline/multilevel packages — keep this import after them so the package
 # initialization order stays acyclic.
 from .api import compare, solve, solve_many
+from .portfolio import (
+    InstanceFeatures,
+    PortfolioScheduler,
+    SolutionCache,
+    extract_features,
+    instance_signature,
+)
 from .registry import (
     SchedulerInfo,
     available_schedulers,
@@ -82,7 +89,7 @@ from .spec import (
     SpecError,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "__version__",
@@ -135,4 +142,10 @@ __all__ = [
     "available_schedulers",
     "describe_schedule",
     "schedule_to_text_gantt",
+    # portfolio scheduling & solution cache
+    "InstanceFeatures",
+    "PortfolioScheduler",
+    "SolutionCache",
+    "extract_features",
+    "instance_signature",
 ]

@@ -57,9 +57,16 @@ def _to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
     """Assemble the public result from an executed (or resumed) work item."""
     info = scheduler_info(item.scheduler)
     # The registry flag describes the default configuration; an explicit
-    # wall-clock cutoff in the spec makes this particular run load-dependent.
+    # wall-clock cutoff in the spec (or a portfolio racing under a budget)
+    # makes this particular run load-dependent.
     _, kwargs = parse_scheduler_spec(item.scheduler)
-    deterministic = info.deterministic and kwargs.get("time_limit") is None
+    deterministic = (
+        info.deterministic
+        and kwargs.get("time_limit") is None
+        and kwargs.get("budget") is None
+        # Mirror PortfolioScheduler's case-insensitive mode normalization.
+        and str(kwargs.get("mode") or "").lower() != "race"
+    )
     breakdown = result.breakdown
     total = breakdown.get("total_cost")
     if total is None:
@@ -75,10 +82,31 @@ def _to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
         comm_cost=float(breakdown.get("comm_cost", 0.0)),
         latency_cost=float(breakdown.get("latency_cost", 0.0)),
         num_supersteps=int(breakdown.get("num_supersteps", 0)),
-        valid=True,  # execute_work_item validates every schedule it costs
+        # Strict execution validates every schedule it costs; a tolerant
+        # batch records the failure on the result instead of raising.
+        valid=result.valid,
         wall_seconds=float(result.seconds),
-        scheduler_description=info.description,
+        scheduler_description=result.error if not result.valid else info.description,
         deterministic=deterministic,
+    )
+
+
+def _broken_request_result(request: SolveRequest, exc: Exception) -> SolveResult:
+    """Invalid result for a request that failed before it could execute."""
+    dag = request.spec.dag
+    return SolveResult(
+        scheduler=request.scheduler,
+        dag_name=dag.name or dag.kind or dag.path or "inline",
+        num_nodes=int(dag.n) if dag.n is not None else 0,
+        machine=request.spec.machine,
+        total_cost=float("inf"),
+        work_cost=0.0,
+        comm_cost=0.0,
+        latency_cost=0.0,
+        num_supersteps=0,
+        valid=False,
+        scheduler_description=str(exc),
+        deterministic=True,
     )
 
 
@@ -102,6 +130,7 @@ def solve_many(
     jobs: Optional[int] = None,
     checkpoint: Optional[PathLike] = None,
     resume: bool = False,
+    tolerant: bool = False,
 ) -> List[SolveResult]:
     """Solve a batch of requests, optionally in parallel and resumably.
 
@@ -111,21 +140,46 @@ def solve_many(
     every finished request is appended to a JSONL file as it completes;
     ``resume=True`` skips requests whose results are already recorded there
     (matched by a content signature, never by position alone).
+
+    With ``tolerant=True`` a request whose scheduler fails (or produces an
+    invalid schedule, or cannot even be constructed — unknown scheduler,
+    unbuildable DAG spec) yields a result with ``valid=False`` and infinite
+    cost instead of aborting the batch — the contract of the ``repro batch``
+    subcommand, which reports such requests in its exit status.
     """
-    items = [
-        WorkItem.from_request(request, index=k, instance=k)
-        for k, request in enumerate(requests)
-    ]
+    items: List[WorkItem] = []
+    broken: dict = {}
+    for k, request in enumerate(requests):
+        try:
+            items.append(WorkItem.from_request(request, index=k, instance=k))
+        except (SpecError, ValueError, OSError) as exc:
+            # Construction failures (unknown scheduler spec, bad generator
+            # parameters, unreadable hyperDAG file) happen before the
+            # tolerant runner is reached — fold them into invalid results
+            # here so one malformed request cannot sink the batch.
+            if not tolerant:
+                raise
+            broken[k] = _broken_request_result(request, exc)
     checkpoint_path = str(checkpoint) if checkpoint is not None else None
-    runner = ParallelRunner(jobs, checkpoint=checkpoint_path, resume=resume)
+    runner = ParallelRunner(
+        jobs, checkpoint=checkpoint_path, resume=resume, tolerant=tolerant
+    )
     results = runner.execute(items)
     # A resumed record from a pre-breakdown checkpoint format carries only
     # the total cost; re-solve those items (on the pool, like any other
     # batch) instead of fabricating a zeroed breakdown, and append the
     # upgraded records so the next resume finds them (later records win).
-    stale = [item for item, result in zip(items, results) if not result.breakdown]
+    # A strict batch likewise re-runs invalid records resumed from an
+    # earlier *tolerant* run — strict callers are promised an exception,
+    # not a silent valid=False result, and the re-run raises the real error.
+    stale = [
+        item
+        for item, result in zip(items, results)
+        if (result.valid and not result.breakdown)
+        or (not tolerant and not result.valid)
+    ]
     if stale:
-        redone = ParallelRunner(jobs).execute(stale)
+        redone = ParallelRunner(jobs, tolerant=tolerant).execute(stale)
         by_index = {result.index: result for result in redone}
         results = [by_index.get(result.index, result) for result in results]
         if checkpoint_path is not None:
@@ -134,7 +188,12 @@ def solve_many(
             with CheckpointWriter(checkpoint_path, append=True) as writer:
                 for result in redone:
                     writer.append(result.as_record())
-    return [_to_solve_result(item, result) for item, result in zip(items, results)]
+    solved = {
+        item.index: _to_solve_result(item, result)
+        for item, result in zip(items, results)
+    }
+    solved.update(broken)
+    return [solved[k] for k in range(len(requests))]
 
 
 def compare(

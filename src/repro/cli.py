@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Five subcommands cover the workflows a downstream user needs most often:
+Seven subcommands cover the workflows a downstream user needs most often:
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file, a generated instance, or
@@ -8,13 +8,26 @@ Five subcommands cover the workflows a downstream user needs most often:
     registered scheduler and print the cost breakdown, optionally comparing
     several schedulers side by side (``--schedulers a,b,c`` — parameterized
     spec strings like ``"hc(max_moves=50)"`` work; run in parallel with
-    ``--jobs N``).
+    ``--jobs N``).  ``--cache-dir`` enables the portfolio solution cache.
 
 ``batch``
     Solve a JSONL file of :class:`~repro.spec.SolveRequest` objects through
     the :mod:`repro.api` facade, one result line per request (in request
     order, bytewise reproducible for deterministic schedulers), optionally
-    on several worker processes with a resumable checkpoint.
+    on several worker processes with a resumable checkpoint.  A request
+    whose scheduler fails yields an invalid result line instead of aborting
+    the batch; a pass/fail summary goes to stderr and the exit status is
+    nonzero when any request failed.
+
+``portfolio-explain``
+    Show what the portfolio subsystem sees for an instance: the extracted
+    feature vector, the selection rule that fires, the chosen scheduler
+    spec, the canonical instance signature and (with a cache) whether the
+    solution is already cached.
+
+``list-schedulers``
+    Print the registry: every registered scheduler with its metadata
+    (label, description, deterministic / NUMA-aware flags, parameters).
 
 ``repro``
     Regenerate one table or figure of the paper's evaluation by name
@@ -37,9 +50,13 @@ Examples::
     python -m repro schedule --kind spmv --size 10 -P 4 --memory-bound 40 \
         --schedulers "greedy-mem,hc(init=greedy-mem)"
     python -m repro schedule --spec request.json
+    python -m repro schedule --kind spmv --size 10 -P 4 --scheduler portfolio --cache-dir .cache
+    python -m repro portfolio-explain --kind cg --size 8 -P 8 --delta 3
+    python -m repro list-schedulers
     python -m repro batch requests.jsonl --jobs 4 --out results.jsonl
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
+    python -m repro --version
 """
 
 from __future__ import annotations
@@ -134,6 +151,24 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory of the content-addressed solution cache used by "
+        "portfolio schedulers (defaults to $REPRO_CACHE_DIR; omit to disable)",
+    )
+
+
+def _apply_cache_dir(args: argparse.Namespace) -> None:
+    """Install ``--cache-dir`` as the process default portfolio cache."""
+    if getattr(args, "cache_dir", None):
+        from .portfolio.cache import set_default_cache_dir
+
+        set_default_cache_dir(args.cache_dir)
+
+
 def _add_generator_arguments(parser: argparse.ArgumentParser, require_kind: bool) -> None:
     parser.add_argument(
         "--kind",
@@ -150,9 +185,14 @@ def _add_generator_arguments(parser: argparse.ArgumentParser, require_kind: bool
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BSP+NUMA DAG scheduling (reproduction of Papp et al., SPAA 2024)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -193,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument("--gantt", action="store_true", help="print a text Gantt view of the schedule")
     p_sched.add_argument("--out", help="write the scheduled DAG assignment to this file (CSV)")
+    _add_cache_argument(p_sched)
 
     # batch -------------------------------------------------------------
     p_batch = sub.add_parser(
@@ -225,6 +266,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="include wall-clock seconds in every result (non-deterministic output)",
+    )
+    _add_cache_argument(p_batch)
+
+    # portfolio-explain --------------------------------------------------
+    p_explain = sub.add_parser(
+        "portfolio-explain",
+        help="show the features, selection rule and cache status of an instance",
+    )
+    p_explain.add_argument(
+        "dag_file", nargs="?", help="hyperDAG file (omit to use --kind or --spec)"
+    )
+    _add_generator_arguments(p_explain, require_kind=False)
+    _add_machine_arguments(p_explain)
+    p_explain.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON problem spec or solve request (overrides the DAG/machine flags)",
+    )
+    p_explain.add_argument(
+        "--portfolio",
+        metavar="SPEC",
+        default="portfolio",
+        help="portfolio spec string to explain (default: portfolio)",
+    )
+    _add_cache_argument(p_explain)
+
+    # list-schedulers ----------------------------------------------------
+    sub.add_parser(
+        "list-schedulers",
+        help="print every registered scheduler with its registry metadata",
     )
 
     # repro -------------------------------------------------------------
@@ -271,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_schedule(args: argparse.Namespace) -> int:
     from .experiments.runner import schedule_many
 
+    _apply_cache_dir(args)
     default_scheduler = args.scheduler
     if args.spec:
         loaded = _load_spec_file(args.spec)
@@ -327,6 +399,7 @@ def _command_schedule(args: argparse.Namespace) -> int:
 def _command_batch(args: argparse.Namespace) -> int:
     from . import api
 
+    _apply_cache_dir(args)
     try:
         requests = api.load_requests(args.requests_file)
     except (OSError, SpecError) as exc:
@@ -334,7 +407,11 @@ def _command_batch(args: argparse.Namespace) -> int:
     if not requests:
         raise SystemExit(f"no solve requests found in {args.requests_file!r}")
     results = api.solve_many(
-        requests, jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
+        requests,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        tolerant=True,
     )
     if args.out:
         api.write_results(results, args.out, timing=args.timing)
@@ -344,7 +421,24 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
     else:
         api.write_results(results, sys.stdout, timing=args.timing)
-    return 0
+    # A request whose scheduler failed (or returned an invalid schedule)
+    # must be visible in the exit status: report a pass/fail summary and
+    # exit nonzero when anything failed, so scripted pipelines notice.
+    failed = [
+        (k, result) for k, result in enumerate(results, start=1) if not result.valid
+    ]
+    print(
+        f"batch summary: {len(results) - len(failed)}/{len(results)} ok, "
+        f"{len(failed)} invalid",
+        file=sys.stderr,
+    )
+    for lineno, result in failed:
+        print(
+            f"  request {lineno}: {result.scheduler} on {result.dag_name}: "
+            f"{result.scheduler_description or 'invalid schedule'}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def _command_repro(args: argparse.Namespace) -> int:
@@ -364,6 +458,84 @@ def _command_repro(args: argparse.Namespace) -> int:
     for table in tables:
         print(table.to_markdown() if args.markdown else table.to_text())
         print()
+    return 0
+
+
+def _command_list_schedulers(args: argparse.Namespace) -> int:
+    from .registry import scheduler_info
+
+    rows = []
+    for name in available_schedulers():
+        info = scheduler_info(name)
+        rows.append(
+            (
+                name,
+                "yes" if info.deterministic else "no",
+                "yes" if info.numa_aware else "no",
+                info.description,
+                ", ".join(info.parameters) if info.parameters else "-",
+            )
+        )
+    name_w = max(len(r[0]) for r in rows)
+    print(f"{'scheduler'.ljust(name_w)}  det  numa  description")
+    for name, det, numa, description, parameters in rows:
+        print(f"{name.ljust(name_w)}  {det:<3}  {numa:<4}  {description}")
+        print(f"{''.ljust(name_w)}        parameters: {parameters}")
+    return 0
+
+
+def _command_portfolio_explain(args: argparse.Namespace) -> int:
+    from .portfolio.features import instance_signature
+    from .portfolio.selector import PortfolioScheduler
+    from .registry import make_scheduler
+
+    _apply_cache_dir(args)
+    if args.spec:
+        loaded = _load_spec_file(args.spec)
+        problem = loaded.spec if isinstance(loaded, SolveRequest) else loaded
+        dag = problem.build_dag()
+        machine = problem.build_machine()
+    else:
+        dag = _load_or_generate_dag(args)
+        machine = _build_machine(args)
+
+    try:
+        portfolio = make_scheduler(args.portfolio)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not isinstance(portfolio, PortfolioScheduler):
+        raise SystemExit(f"--portfolio must name a portfolio spec, got {args.portfolio!r}")
+
+    signature = instance_signature(dag, machine)
+    chosen, features, rule = portfolio.choose(dag, machine)
+
+    print(f"instance  : {dag.name} ({dag.n} nodes) on {machine.describe()}")
+    print(f"signature : {signature}")
+    print("\nfeatures:")
+    feature_dict = features.to_dict()
+    width = max(len(k) for k in feature_dict)
+    for key, value in feature_dict.items():
+        if isinstance(value, float):
+            value = round(value, 4)
+        print(f"  {key.ljust(width)} : {value}")
+    print(f"\nmode      : {portfolio.mode}")
+    if rule is not None:
+        print(f"rule      : {rule.name} — {rule.description}")
+    print(f"scheduler : {chosen}")
+    cache = portfolio.cache
+    if cache is None:
+        print("cache     : disabled (pass --cache-dir or set REPRO_CACHE_DIR)")
+    else:
+        entry = cache.get(signature, portfolio.spec_string(), portfolio.seed)
+        entry_path = cache.entry_path(signature, portfolio.spec_string(), portfolio.seed)
+        if entry is None:
+            print(f"cache     : {cache.root} (miss: {entry_path.name})")
+        else:
+            print(f"cache     : {cache.root} (hit: {entry_path.name})")
+            print(f"            solved by {entry.chosen or 'unknown'}", end="")
+            if entry.result is not None:
+                print(f", total cost {entry.result.total_cost}", end="")
+            print()
     return 0
 
 
@@ -391,6 +563,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_schedule(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "portfolio-explain":
+        return _command_portfolio_explain(args)
+    if args.command == "list-schedulers":
+        return _command_list_schedulers(args)
     if args.command == "repro":
         return _command_repro(args)
     if args.command == "generate":

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Union
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "schedule_to_dict",
     "schedule_from_dict",
     "CheckpointWriter",
+    "iter_checkpoint",
     "read_checkpoint",
 ]
 
@@ -67,15 +68,16 @@ class CheckpointWriter:
         self.close()
 
 
-def read_checkpoint(path: PathLike) -> List[dict]:
-    """Read all records of a JSONL checkpoint written by :class:`CheckpointWriter`.
+def iter_checkpoint(path: PathLike) -> Iterator[dict]:
+    """Stream the records of a JSONL checkpoint written by :class:`CheckpointWriter`.
 
+    Yields one record dict at a time without materializing the whole file —
+    resume over a multi-gigabyte sweep checkpoint stays at constant memory.
     Malformed lines are skipped rather than raised on: a process killed
     mid-append leaves a truncated final line, and the whole point of the
     checkpoint is to survive exactly that — the interrupted item simply
     re-runs.
     """
-    records: List[dict] = []
     with Path(path).open() as handle:
         for line in handle:
             line = line.strip()
@@ -86,25 +88,35 @@ def read_checkpoint(path: PathLike) -> List[dict]:
             except json.JSONDecodeError:
                 continue
             if isinstance(record, dict):
-                records.append(record)
-    return records
+                yield record
+
+
+def read_checkpoint(path: PathLike) -> List[dict]:
+    """All records of a JSONL checkpoint, as a list (see :func:`iter_checkpoint`)."""
+    return list(iter_checkpoint(path))
 
 
 # ----------------------------------------------------------------------
 # Machines
 # ----------------------------------------------------------------------
 def _machine_to_dict(machine: BspMachine) -> dict:
-    return {
+    payload = {
         "P": machine.P,
         "g": machine.g,
         "l": machine.l,
         "numa": np.asarray(machine.numa).tolist(),
     }
+    # The memory bound participates in schedule validation (and therefore in
+    # cached-solution identity), so a bounded machine must round-trip it.
+    if machine.memory_bounds is not None:
+        payload["memory_bound"] = np.asarray(machine.memory_bounds).tolist()
+    return payload
 
 
 def _machine_from_dict(data: dict) -> BspMachine:
     return BspMachine(P=int(data["P"]), g=float(data["g"]), l=float(data["l"]),
-                      numa=np.asarray(data["numa"], dtype=float))
+                      numa=np.asarray(data["numa"], dtype=float),
+                      memory_bound=data.get("memory_bound"))
 
 
 # ----------------------------------------------------------------------
@@ -113,14 +125,19 @@ def _machine_from_dict(data: dict) -> BspMachine:
 def schedule_to_dict(schedule: BspSchedule) -> dict:
     """JSON-serializable representation of a schedule (incl. its DAG)."""
     dag = schedule.dag
+    dag_payload = {
+        "name": dag.name,
+        "n": dag.n,
+        "edges": [list(e) for e in dag.edges],
+        "work": np.asarray(dag.work).tolist(),
+        "comm": np.asarray(dag.comm).tolist(),
+    }
+    # Memory weights default to the work weights; embed them only when they
+    # differ, keeping the common case compact (mirrors DagSpec.from_dag).
+    if not np.array_equal(np.asarray(dag.memory), np.asarray(dag.work)):
+        dag_payload["memory"] = np.asarray(dag.memory).tolist()
     payload = {
-        "dag": {
-            "name": dag.name,
-            "n": dag.n,
-            "edges": [list(e) for e in dag.edges],
-            "work": np.asarray(dag.work).tolist(),
-            "comm": np.asarray(dag.comm).tolist(),
-        },
+        "dag": dag_payload,
         "machine": _machine_to_dict(schedule.machine),
         "proc": np.asarray(schedule.proc).tolist(),
         "step": np.asarray(schedule.step).tolist(),
@@ -138,6 +155,7 @@ def schedule_from_dict(data: dict) -> BspSchedule:
         dag_data["work"],
         dag_data["comm"],
         name=dag_data.get("name", "dag"),
+        memory=dag_data.get("memory"),
     )
     machine = _machine_from_dict(data["machine"])
     comm = None

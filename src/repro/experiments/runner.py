@@ -46,6 +46,8 @@ from ..registry import (
     make_scheduler,
     registry_name_for_label,
 )
+from ..model.schedule import ScheduleValidationError
+from ..scheduler import SchedulingError
 from ..spec import ProblemSpec, SolveRequest
 from .report import geometric_mean
 
@@ -56,6 +58,7 @@ __all__ = [
     "WorkItemResult",
     "ParallelRunner",
     "execute_work_item",
+    "execute_work_item_tolerant",
     "resolve_cost_label",
     "run_instance",
     "run_experiment",
@@ -274,6 +277,12 @@ class WorkItemResult:
     breakdown: Dict[str, float] = field(default_factory=dict)
     #: Wall-clock seconds spent executing the item.
     seconds: float = 0.0
+    #: Whether the item produced a valid schedule.  Only tolerant execution
+    #: (see :func:`execute_work_item_tolerant`) ever records ``False`` —
+    #: strict execution raises instead.
+    valid: bool = True
+    #: Failure description of an invalid tolerant result (empty when valid).
+    error: str = ""
 
     def matches(self, item: WorkItem) -> bool:
         """True if this (checkpoint) result belongs to ``item``."""
@@ -298,6 +307,8 @@ class WorkItemResult:
             "initializer_costs": dict(self.initializer_costs),
             "breakdown": dict(self.breakdown),
             "seconds": self.seconds,
+            "valid": self.valid,
+            "error": self.error,
         }
 
     @classmethod
@@ -315,6 +326,8 @@ class WorkItemResult:
             item_signature=record.get("signature", ""),
             breakdown={k: float(v) for k, v in record.get("breakdown", {}).items()},
             seconds=float(record.get("seconds", 0.0)),
+            valid=bool(record.get("valid", True)),
+            error=str(record.get("error", "")),
         )
 
 
@@ -387,6 +400,43 @@ def execute_work_item(item: WorkItem) -> WorkItemResult:
         breakdown=_schedule_breakdown(schedule),
         seconds=time.perf_counter() - start,
     )
+
+
+def execute_work_item_tolerant(item: WorkItem) -> WorkItemResult:
+    """Like :func:`execute_work_item`, but a scheduling failure is a result.
+
+    A scheduler that raises :class:`~repro.scheduler.SchedulingError`,
+    produces a schedule failing validation, or cannot even be built from its
+    spec (``ValueError`` from the registry — unknown parameters, bad values)
+    yields an *invalid* result — ``valid=False``, infinite cost, the error
+    message preserved — instead of tearing down the whole batch.  Used by
+    the ``repro batch`` surface (one bad request must not lose the other
+    results) and by portfolio racing (a failing candidate is eliminated,
+    not fatal).
+    """
+    start = time.perf_counter()
+    try:
+        return execute_work_item(item)
+    except (SchedulingError, ScheduleValidationError, ValueError) as exc:
+        label = item.label if item.label is not None else item.scheduler
+        return WorkItemResult(
+            index=item.index,
+            instance=item.instance,
+            costs={label: float("inf")},
+            scheduler=item.scheduler,
+            dag_name=item.dag.name,
+            item_signature=item.signature(),
+            breakdown={
+                "total_cost": float("inf"),
+                "work_cost": 0.0,
+                "comm_cost": 0.0,
+                "latency_cost": 0.0,
+                "num_supersteps": 0.0,
+            },
+            seconds=time.perf_counter() - start,
+            valid=False,
+            error=str(exc),
+        )
 
 
 def _instance_work_items(
@@ -505,20 +555,27 @@ class ParallelRunner:
         *,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        tolerant: bool = False,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
         self.checkpoint = checkpoint
         self.resume = resume
+        #: With ``tolerant=True`` scheduling failures become invalid results
+        #: (see :func:`execute_work_item_tolerant`) instead of exceptions.
+        self.tolerant = tolerant
 
     # ------------------------------------------------------------------
     def execute(self, items: Sequence[WorkItem]) -> List[WorkItemResult]:
         """Run all work items; the result list is index-aligned with ``items``."""
-        from .persistence import CheckpointWriter, read_checkpoint
+        from .persistence import CheckpointWriter, iter_checkpoint
 
+        run_item = execute_work_item_tolerant if self.tolerant else execute_work_item
         done: Dict[int, WorkItemResult] = {}
         if self.resume and self.checkpoint and os.path.exists(self.checkpoint):
             item_by_index = {item.index: item for item in items}
-            for record in read_checkpoint(self.checkpoint):
+            # Streamed, not materialized: resume over a huge checkpoint file
+            # keeps constant memory (only matching records are retained).
+            for record in iter_checkpoint(self.checkpoint):
                 result = WorkItemResult.from_record(record)
                 item = item_by_index.get(result.index)
                 # Only reuse a record that provably belongs to this run's
@@ -538,14 +595,14 @@ class ParallelRunner:
         try:
             if self.jobs <= 1 or len(pending) <= 1:
                 for item in pending:
-                    result = execute_work_item(item)
+                    result = run_item(item)
                     done[result.index] = result
                     if writer is not None:
                         writer.append(result.as_record())
             else:
                 ctx = multiprocessing.get_context()
                 with ctx.Pool(processes=min(self.jobs, len(pending))) as pool:
-                    for result in pool.imap_unordered(execute_work_item, pending):
+                    for result in pool.imap_unordered(run_item, pending):
                         done[result.index] = result
                         if writer is not None:
                             writer.append(result.as_record())

@@ -19,6 +19,11 @@ baselines produce schedules that fail validation when the bound binds), so
 such grids are expressed with ``scheduler_specs``: a list of registry spec
 strings (``["greedy-mem", "hc(init=greedy-mem)"]``) run instead of the
 default baseline/pipeline label set.
+
+The portfolio scheduler is a sweepable column like any other spec string —
+``scheduler_specs=["cilk", "portfolio"]`` records the per-instance selection
+(and, with a cache directory configured, shares its solution cache across
+the whole grid).
 """
 
 from __future__ import annotations

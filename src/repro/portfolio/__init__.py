@@ -1,0 +1,59 @@
+"""Portfolio scheduling: per-instance algorithm selection plus solution caching.
+
+The paper's evaluation shows that no single scheduler dominates across
+instance families, size tiers and machine models.  This subsystem turns that
+finding into an operational scheduler:
+
+* :mod:`repro.portfolio.features` — a deterministic instance featurizer and
+  the canonical content signature of a (DAG, machine) pair,
+* :mod:`repro.portfolio.selector` — rule-based selection seeded from the
+  paper's table winners, budget-aware successive-halving racing, and the
+  :class:`PortfolioScheduler` tying both to the registry,
+* :mod:`repro.portfolio.cache` — a content-addressed on-disk solution cache
+  (atomic writes, versioned format, in-process LRU) serving identical
+  re-solves without re-running any scheduler.
+
+The subsystem is reachable as the registry entry ``portfolio(...)``::
+
+    from repro import solve, SolveRequest, ProblemSpec, DagSpec, MachineSpec
+
+    spec = ProblemSpec(dag=DagSpec.generator("spmv", n=20, q=0.25, seed=1),
+                       machine=MachineSpec(P=4, g=2, l=5))
+    solve(SolveRequest(spec=spec, scheduler="portfolio(cache='/tmp/repro-cache')"))
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CacheEntry,
+    SolutionCache,
+    default_cache_dir,
+    set_default_cache_dir,
+)
+from .features import InstanceFeatures, extract_features, instance_signature
+from .selector import (
+    DEFAULT_RACE_CANDIDATES,
+    PortfolioScheduler,
+    RaceOutcome,
+    SelectionRule,
+    RULES,
+    race,
+    select_scheduler,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheEntry",
+    "SolutionCache",
+    "default_cache_dir",
+    "set_default_cache_dir",
+    "InstanceFeatures",
+    "extract_features",
+    "instance_signature",
+    "DEFAULT_RACE_CANDIDATES",
+    "PortfolioScheduler",
+    "RaceOutcome",
+    "SelectionRule",
+    "RULES",
+    "race",
+    "select_scheduler",
+]

@@ -1,0 +1,259 @@
+"""Content-addressed, on-disk solution cache.
+
+Re-solving an identical instance with an identical scheduler spec repeats
+the full search — for the heavy repeated traffic the ROADMAP targets, that
+is the single largest avoidable cost.  This module memoizes solved requests
+on disk, keyed by ``(instance signature, scheduler spec, seed)``:
+
+* the *instance signature* (:func:`repro.portfolio.features.instance_signature`)
+  content-addresses the (DAG, machine) pair,
+* the entry payload stores both the deterministic
+  :class:`~repro.spec.SolveResult` dictionary and the full schedule
+  (:func:`repro.experiments.persistence.schedule_to_dict`), so a hit can
+  reproduce the exact solve outcome — byte-identical result, identical
+  schedule — without re-running any scheduler,
+* writes are atomic (temp file + ``os.replace`` in the same directory), so
+  concurrent workers of a :class:`~repro.experiments.runner.ParallelRunner`
+  pool can share one cache directory without torn entries,
+* every entry carries a ``format`` version header; entries written by an
+  incompatible cache format are treated as misses (and overwritten on the
+  next store),
+* an in-process LRU layer serves repeated hits of hot keys without touching
+  the filesystem.
+
+Layout: ``<root>/<sig[:2]>/<key>.json`` where ``key`` is the SHA-256 of
+``signature|scheduler spec|seed`` — flat, shardable, and independent of any
+filesystem-unsafe characters a spec string may contain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..model.schedule import BspSchedule
+from ..spec import SolveResult
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheEntry",
+    "SolutionCache",
+    "default_cache_dir",
+    "set_default_cache_dir",
+]
+
+#: Version header of the on-disk entry format.  Bump whenever the payload
+#: layout (or the serialization of schedules/results it embeds) changes
+#: incompatibly; readers treat any other version as a miss.
+CACHE_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+#: Process-wide default cache directory (CLI ``--cache-dir`` / REPRO_CACHE_DIR).
+_DEFAULT_CACHE_DIR: Optional[str] = None
+#: Whether this module wrote REPRO_CACHE_DIR itself, and what it displaced —
+#: clearing the default must restore the user's own variable, not delete it.
+_ENV_OVERRIDDEN = False
+_ENV_SAVED: Optional[str] = None
+
+
+def set_default_cache_dir(path: Optional[PathLike]) -> None:
+    """Set (or clear, with ``None``) the process-wide default cache directory.
+
+    Portfolio schedulers built with ``cache=default`` (and the CLI's
+    ``--cache-dir`` flag) resolve through this hook.  The directory is also
+    exported as ``REPRO_CACHE_DIR`` so that multiprocessing pool workers see
+    it under *any* start method — with ``spawn`` (macOS/Windows) a worker
+    re-imports this module and would otherwise come up with no default,
+    silently disabling the cache for parallel batches.  Clearing restores
+    whatever ``REPRO_CACHE_DIR`` held before this hook overrode it.
+    """
+    global _DEFAULT_CACHE_DIR, _ENV_OVERRIDDEN, _ENV_SAVED
+    if path is not None:
+        if not _ENV_OVERRIDDEN:
+            _ENV_SAVED = os.environ.get("REPRO_CACHE_DIR")
+            _ENV_OVERRIDDEN = True
+        _DEFAULT_CACHE_DIR = str(path)
+        os.environ["REPRO_CACHE_DIR"] = _DEFAULT_CACHE_DIR
+    else:
+        _DEFAULT_CACHE_DIR = None
+        if _ENV_OVERRIDDEN:
+            if _ENV_SAVED is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = _ENV_SAVED
+            _ENV_OVERRIDDEN = False
+            _ENV_SAVED = None
+
+
+def default_cache_dir() -> Optional[str]:
+    """The process-wide default cache directory, if any.
+
+    Resolution order: :func:`set_default_cache_dir`, then the
+    ``REPRO_CACHE_DIR`` environment variable, then ``None`` (caching off).
+    """
+    if _DEFAULT_CACHE_DIR is not None:
+        return _DEFAULT_CACHE_DIR
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached solution: the solve outcome plus its schedule.
+
+    The schedule is the load-bearing half (a hit replays it instead of
+    re-solving); the stored :class:`~repro.spec.SolveResult` is the
+    introspection payload — ``portfolio-explain`` and services reading the
+    cache directly get the full outcome without re-costing — and is ``None``
+    when an entry predates a result-schema detail (never a reason to
+    re-solve).
+    """
+
+    result: Optional[SolveResult]
+    schedule: BspSchedule
+    #: The scheduler spec the portfolio actually delegated to (for
+    #: ``portfolio-explain`` and cache introspection).
+    chosen: str = ""
+
+
+class SolutionCache:
+    """Content-addressed solution store with an in-process LRU layer.
+
+    ``get``/``put`` never raise on cache corruption: an unreadable,
+    malformed or version-incompatible entry is simply a miss.  ``hits`` /
+    ``misses`` / ``stores`` count the traffic of this process.
+    """
+
+    def __init__(self, root: PathLike, *, max_memory_entries: int = 128) -> None:
+        self.root = Path(root)
+        self.max_memory_entries = int(max_memory_entries)
+        self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(signature: str, scheduler_spec: str, seed: Optional[int]) -> str:
+        """Digest identifying one (instance, scheduler spec, seed) solution."""
+        payload = f"{signature}|{scheduler_spec}|{'' if seed is None else int(seed)}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def entry_path(self, signature: str, scheduler_spec: str, seed: Optional[int]) -> Path:
+        """On-disk location of the entry (exists only after a store)."""
+        key = self.key(signature, scheduler_spec, seed)
+        return self.root / signature[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(
+        self, signature: str, scheduler_spec: str, seed: Optional[int] = None
+    ) -> Optional[CacheEntry]:
+        """Cached solution for the key, or ``None`` on a miss."""
+        from ..experiments.persistence import schedule_from_dict
+
+        key = self.key(signature, scheduler_spec, seed)
+        payload = self._lru_get(key)
+        if payload is None:
+            path = self.entry_path(signature, scheduler_spec, seed)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, ValueError):
+                self.misses += 1
+                return None
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != CACHE_FORMAT_VERSION
+                or payload.get("key") != key
+            ):
+                self.misses += 1
+                return None
+            self._lru_put(key, payload)
+        try:
+            schedule = schedule_from_dict(payload["schedule"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            result: Optional[SolveResult] = SolveResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            result = None
+        entry = CacheEntry(result=result, schedule=schedule, chosen=payload.get("chosen", ""))
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        signature: str,
+        scheduler_spec: str,
+        seed: Optional[int],
+        result: SolveResult,
+        schedule: BspSchedule,
+        *,
+        chosen: str = "",
+    ) -> Path:
+        """Store one solution atomically; returns the entry path."""
+        from ..experiments.persistence import schedule_to_dict
+
+        key = self.key(signature, scheduler_spec, seed)
+        payload: Dict[str, Any] = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "signature": signature,
+            "scheduler": scheduler_spec,
+            "seed": None if seed is None else int(seed),
+            "chosen": chosen,
+            "result": result.to_dict(),
+            "schedule": schedule_to_dict(schedule),
+        }
+        path = self.entry_path(signature, scheduler_spec, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._lru_put(key, payload)
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # In-process LRU layer
+    # ------------------------------------------------------------------
+    def _lru_get(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self._lru.get(key)
+        if payload is not None:
+            self._lru.move_to_end(key)
+        return payload
+
+    def _lru_put(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.max_memory_entries <= 0:
+            return
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_memory_entries:
+            self._lru.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters of this process."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SolutionCache(root={str(self.root)!r}, {self.stats()})"

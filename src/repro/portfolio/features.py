@@ -1,0 +1,227 @@
+"""Instance featurization for portfolio scheduling.
+
+The paper's central empirical finding is that no single scheduler dominates:
+the winner shifts with the instance family (spmv/exp/cg/kNN versus the
+coarse database DAGs), the size tier (tiny .. huge) and the machine model
+(NUMA structure, latency, memory bounds).  Portfolio selection therefore
+needs a *feature vector* summarizing a (DAG, machine) instance — cheap to
+compute, deterministic, JSON round-trippable and hashable into a canonical
+*instance signature* that content-addresses the solution cache.
+
+:class:`InstanceFeatures` collects
+
+* graph structure: node/edge counts, sources/sinks, depth, maximum and
+  average level width (built on :func:`repro.graphs.analysis.dag_statistics`),
+* degree-distribution moments: mean / standard deviation / maximum of the
+  in- and out-degree distributions,
+* weight structure: total and per-node average work and communication
+  weights, their coefficient of variation, the plain CCR and the
+  machine-adjusted effective CCR of Appendix A.5,
+* memory pressure: total memory weight relative to the machine's aggregate
+  memory bound (0 when unbounded),
+* machine summary: P, g, l, NUMA mean/max coefficients, uniformity flag and
+  the binding (minimum) per-processor memory bound.
+
+:func:`instance_signature` hashes the raw instance content (edge arrays,
+weight arrays, the NUMA matrix, memory bounds) — not the feature vector — so
+two instances share a signature exactly when every byte a scheduler can see
+is identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from ..graphs.analysis import communication_to_computation_ratio, dag_statistics
+from ..graphs.dag import ComputationalDAG
+from ..model.machine import BspMachine
+
+__all__ = ["InstanceFeatures", "extract_features", "instance_signature"]
+
+
+def _moments(values: np.ndarray) -> tuple:
+    """(mean, std, max) of a non-negative integer distribution."""
+    if values.size == 0:
+        return 0.0, 0.0, 0
+    return float(np.mean(values)), float(np.std(values)), int(np.max(values))
+
+
+def _cv(values: np.ndarray) -> float:
+    """Coefficient of variation (std/mean); 0 for empty or zero-mean data."""
+    if values.size == 0:
+        return 0.0
+    mean = float(np.mean(values))
+    if mean == 0.0:
+        return 0.0
+    return float(np.std(values) / mean)
+
+
+@dataclass(frozen=True)
+class InstanceFeatures:
+    """Deterministic feature vector of one (DAG, machine) instance."""
+
+    # Graph structure
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_sources: int
+    num_sinks: int
+    depth: int
+    max_width: int
+    avg_width: float
+    # Degree-distribution moments
+    in_degree_mean: float
+    in_degree_std: float
+    in_degree_max: int
+    out_degree_mean: float
+    out_degree_std: float
+    out_degree_max: int
+    # Weight structure
+    total_work: int
+    total_comm: int
+    avg_work: float
+    avg_comm: float
+    work_cv: float
+    comm_cv: float
+    ccr: float
+    effective_ccr: float
+    # Memory pressure
+    total_memory: int
+    memory_pressure: float
+    # Machine summary
+    P: int
+    g: float
+    l: float
+    numa_mean: float
+    numa_max: float
+    numa_uniform: bool
+    memory_bound_min: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (field order, all fields)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (np.integer,)):
+                value = int(value)
+            elif isinstance(value, (np.floating,)):
+                value = float(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InstanceFeatures":
+        """Rebuild a feature vector written by :meth:`to_dict`."""
+        kwargs = {f.name: data[f.name] for f in fields(cls)}
+        return cls(**kwargs)
+
+
+def extract_features(dag: ComputationalDAG, machine: BspMachine) -> InstanceFeatures:
+    """Compute the :class:`InstanceFeatures` of one instance.
+
+    Deterministic: two calls on equal instances produce equal (and equal
+    ``to_dict``) feature vectors.
+    """
+    stats = dag_statistics(dag)
+    n = dag.n
+    in_degrees = (
+        np.diff(dag.pred_indptr) if n > 0 else np.zeros(0, dtype=np.int64)
+    )
+    out_degrees = (
+        np.diff(dag.succ_indptr) if n > 0 else np.zeros(0, dtype=np.int64)
+    )
+    in_mean, in_std, in_max = _moments(np.asarray(in_degrees))
+    out_mean, out_std, out_max = _moments(np.asarray(out_degrees))
+    work = np.asarray(dag.work, dtype=np.float64)
+    comm = np.asarray(dag.comm, dtype=np.float64)
+
+    numa = np.asarray(machine.numa, dtype=np.float64)
+    off_diag = numa[~np.eye(machine.P, dtype=bool)] if machine.P > 1 else np.zeros(0)
+    numa_mean = float(np.mean(off_diag)) if off_diag.size else 0.0
+    numa_max = float(np.max(off_diag)) if off_diag.size else 0.0
+
+    total_memory = dag.total_memory()
+    bounds = machine.memory_bounds
+    if bounds is None:
+        memory_bound_min = 0.0
+        memory_pressure = 0.0
+    else:
+        memory_bound_min = float(np.min(bounds))
+        capacity = float(np.sum(bounds))
+        memory_pressure = float(total_memory / capacity) if capacity > 0 else 0.0
+
+    return InstanceFeatures(
+        name=dag.name,
+        num_nodes=n,
+        num_edges=stats.num_edges,
+        num_sources=stats.num_sources,
+        num_sinks=stats.num_sinks,
+        depth=stats.depth,
+        max_width=stats.max_width,
+        avg_width=float(n / stats.depth) if stats.depth > 0 else 0.0,
+        in_degree_mean=in_mean,
+        in_degree_std=in_std,
+        in_degree_max=in_max,
+        out_degree_mean=out_mean,
+        out_degree_std=out_std,
+        out_degree_max=out_max,
+        total_work=stats.total_work,
+        total_comm=stats.total_comm,
+        avg_work=float(np.mean(work)) if n > 0 else 0.0,
+        avg_comm=float(np.mean(comm)) if n > 0 else 0.0,
+        work_cv=_cv(work),
+        comm_cv=_cv(comm),
+        ccr=stats.ccr,
+        effective_ccr=communication_to_computation_ratio(dag, machine),
+        total_memory=total_memory,
+        memory_pressure=memory_pressure,
+        P=machine.P,
+        g=float(machine.g),
+        l=float(machine.l),
+        numa_mean=numa_mean,
+        numa_max=numa_max,
+        numa_uniform=bool(machine.is_uniform),
+        memory_bound_min=memory_bound_min,
+    )
+
+
+def instance_signature(dag: ComputationalDAG, machine: BspMachine) -> str:
+    """Canonical content hash of one (DAG, machine) instance.
+
+    Hashes everything a scheduler can observe: the DAG name, node count, the
+    CSR edge arrays, work/comm/memory weights, the machine's ``P``/``g``/``l``,
+    the full NUMA matrix and the per-processor memory bounds.  Two instances
+    share a signature iff they are bytewise-identical inputs, which makes
+    the signature safe as a content address for cached solutions.
+    """
+    digest = hashlib.sha256()
+
+    # Every field is length-prefixed/delimited so that variable-length
+    # neighbours can never alias each other's byte streams (("x1", 1) vs
+    # ("x", 11), arrays of different splits, ...): a collision here would
+    # make the cache serve a schedule for a different instance.
+    def _text(value: str) -> None:
+        raw = value.encode()
+        digest.update(str(len(raw)).encode() + b":" + raw + b"|")
+
+    def _array(values) -> None:
+        contiguous = np.ascontiguousarray(values)
+        digest.update(str(contiguous.shape).encode() + b":")
+        digest.update(contiguous.tobytes() + b"|")
+
+    _text(dag.name)
+    _text(str(dag.n))
+    _array(dag.edge_sources)
+    _array(dag.edge_targets)
+    _array(dag.work)
+    _array(dag.comm)
+    _array(dag.memory)
+    _text(f"{machine.P}|{machine.g!r}|{machine.l!r}")
+    _array(machine.numa)
+    if machine.memory_bounds is not None:
+        _array(machine.memory_bounds)
+    return digest.hexdigest()

@@ -46,6 +46,7 @@ from .localsearch.schedulers import (
 )
 from .multilevel.scheduler import MultilevelScheduler
 from .pipeline.adaptive import AdaptiveScheduler
+from .portfolio.selector import PortfolioScheduler
 from .pipeline.config import MultilevelConfig, PipelineConfig
 from .pipeline.framework import FrameworkScheduler
 from .scheduler import Scheduler
@@ -285,17 +286,21 @@ def canonical_scheduler_spec(
     """Canonical form of a spec string, optionally merging request defaults.
 
     ``seed`` maps onto a ``seed`` parameter and ``time_budget`` onto a
-    ``time_limit`` parameter — only when the scheduler's factory accepts
-    them and the spec string does not already set them.  Parsing and
-    re-rendering the result is an identity, which keeps work-item
-    signatures (and therefore checkpoint resume) stable.
+    ``time_limit`` parameter (or, for schedulers like the portfolio that
+    take a wall-clock ``budget`` instead, onto ``budget``) — only when the
+    scheduler's factory accepts them and the spec string does not already
+    set them.  Parsing and re-rendering the result is an identity, which
+    keeps work-item signatures (and therefore checkpoint resume) stable.
     """
     name, kwargs = parse_scheduler_spec(spec)
     info = _lookup(name, spec)
     if seed is not None and info.accepts("seed") and "seed" not in kwargs:
         kwargs["seed"] = int(seed)
-    if time_budget is not None and info.accepts("time_limit") and "time_limit" not in kwargs:
-        kwargs["time_limit"] = float(time_budget)
+    if time_budget is not None:
+        if info.accepts("time_limit") and "time_limit" not in kwargs:
+            kwargs["time_limit"] = float(time_budget)
+        elif info.accepts("budget") and "budget" not in kwargs:
+            kwargs["budget"] = float(time_budget)
     return format_scheduler_spec(name, kwargs)
 
 
@@ -627,6 +632,35 @@ def _make_multilevel_full(
 )
 def _make_adaptive(ccr_threshold: float = 8.0, margin: float = 0.5) -> Scheduler:
     return AdaptiveScheduler(ccr_threshold=ccr_threshold, margin=margin)
+
+
+# Portfolio scheduling: per-instance selection + content-addressed caching.
+@register_scheduler(
+    "portfolio",
+    description="Per-instance scheduler selection (feature rules or budgeted "
+    "racing) with an optional content-addressed solution cache",
+    # The default configuration (rules mode) delegates only to deterministic
+    # schedulers through a deterministic decision list; race mode is
+    # wall-clock dependent and flagged per-spec by the API facade.
+    deterministic=True,
+    numa_aware=True,
+)
+def _make_portfolio(
+    mode: str = "rules",
+    budget: Optional[float] = None,
+    candidates: Optional[Tuple[str, ...]] = None,
+    cache: Optional[str] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> Scheduler:
+    return PortfolioScheduler(
+        mode=mode,
+        budget=budget,
+        candidates=candidates,
+        cache=cache,
+        seed=seed,
+        jobs=jobs,
+    )
 
 
 #: Name -> zero-argument factory view of the registry (legacy surface; all

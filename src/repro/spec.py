@@ -506,15 +506,21 @@ class SolveResult:
     deterministic: bool = True
 
     def to_dict(self, *, timing: bool = False) -> Dict[str, Any]:
+        # Failed (tolerant-batch) results carry an infinite cost; JSON has no
+        # Infinity literal, so non-finite costs serialize as null — strict
+        # consumers (jq, JSON.parse) keep parsing every line of a batch.
+        def _cost(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
         out: Dict[str, Any] = {
             "scheduler": self.scheduler,
             "dag_name": self.dag_name,
             "num_nodes": self.num_nodes,
             "machine": self.machine.to_dict(),
-            "total_cost": self.total_cost,
-            "work_cost": self.work_cost,
-            "comm_cost": self.comm_cost,
-            "latency_cost": self.latency_cost,
+            "total_cost": _cost(self.total_cost),
+            "work_cost": _cost(self.work_cost),
+            "comm_cost": _cost(self.comm_cost),
+            "latency_cost": _cost(self.latency_cost),
             "num_supersteps": self.num_supersteps,
             "valid": self.valid,
             "scheduler_description": self.scheduler_description,
@@ -526,15 +532,18 @@ class SolveResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveResult":
+        def _cost(value: Any) -> float:
+            return float("inf") if value is None else float(value)
+
         return cls(
             scheduler=data["scheduler"],
             dag_name=data["dag_name"],
             num_nodes=int(data["num_nodes"]),
             machine=MachineSpec.from_dict(data["machine"]),
-            total_cost=float(data["total_cost"]),
-            work_cost=float(data["work_cost"]),
-            comm_cost=float(data["comm_cost"]),
-            latency_cost=float(data["latency_cost"]),
+            total_cost=_cost(data["total_cost"]),
+            work_cost=_cost(data["work_cost"]),
+            comm_cost=_cost(data["comm_cost"]),
+            latency_cost=_cost(data["latency_cost"]),
             num_supersteps=int(data["num_supersteps"]),
             valid=bool(data.get("valid", True)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),

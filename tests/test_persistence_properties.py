@@ -1,0 +1,164 @@
+"""Hypothesis round-trip property tests for schedule / machine persistence.
+
+These serialization paths back the content-addressed solution cache: a
+cached schedule must rebuild bit-equal — including memory weights, NUMA
+matrices and per-processor memory bounds — or a cache hit would return a
+different solution than the original solve.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.persistence import (
+    _machine_from_dict,
+    _machine_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.graphs.dag import ComputationalDAG
+from repro.model.machine import BspMachine
+from repro.model.schedule import BspSchedule
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def machines(draw):
+    """Uniform, NUMA and memory-bounded machines."""
+    P = draw(st.integers(min_value=1, max_value=6))
+    g = draw(st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+    l = draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+    numa = None
+    if draw(st.booleans()) and P > 1:
+        matrix = draw(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0.25, max_value=9.0, allow_nan=False),
+                    min_size=P,
+                    max_size=P,
+                ),
+                min_size=P,
+                max_size=P,
+            )
+        )
+        numa = np.asarray(matrix, dtype=float)
+        numa = (numa + numa.T) / 2.0  # any non-negative matrix works; keep it tidy
+        np.fill_diagonal(numa, 0.0)
+    memory_bound = None
+    kind = draw(st.sampled_from(["none", "scalar", "per-proc"]))
+    if kind == "scalar":
+        memory_bound = draw(st.floats(min_value=1.0, max_value=500.0, allow_nan=False))
+    elif kind == "per-proc":
+        memory_bound = draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+                min_size=P,
+                max_size=P,
+            )
+        )
+    return BspMachine(P=P, g=g, l=l, numa=numa, memory_bound=memory_bound)
+
+
+@st.composite
+def dags(draw):
+    """Small random DAGs with independent work/comm/memory weights."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.add((u, v))
+    work = draw(st.lists(st.integers(min_value=0, max_value=9), min_size=n, max_size=n))
+    comm = draw(st.lists(st.integers(min_value=0, max_value=9), min_size=n, max_size=n))
+    # Memory defaults to work; sometimes diverge to exercise the round trip.
+    memory = None
+    if draw(st.booleans()):
+        memory = draw(
+            st.lists(st.integers(min_value=0, max_value=9), min_size=n, max_size=n)
+        )
+    return ComputationalDAG(n, sorted(edges), work, comm, name="prop", memory=memory)
+
+
+@st.composite
+def schedules(draw):
+    dag = draw(dags())
+    machine = draw(machines())
+    # A level-per-superstep assignment is always precedence-valid; processor
+    # choice is free (the round trip must preserve it either way).
+    levels = dag.node_levels()
+    proc = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=machine.P - 1),
+            min_size=dag.n,
+            max_size=dag.n,
+        )
+    )
+    return BspSchedule(dag, machine, np.asarray(proc, dtype=int), np.asarray(levels, dtype=int))
+
+
+# ----------------------------------------------------------------------
+# Machine round trip
+# ----------------------------------------------------------------------
+class TestMachineRoundTrip:
+    @given(machine=machines())
+    @settings(max_examples=60, deadline=None)
+    def test_machine_round_trip_is_identity(self, machine):
+        rebuilt = _machine_from_dict(_machine_to_dict(machine))
+        assert rebuilt.P == machine.P
+        assert rebuilt.g == machine.g and rebuilt.l == machine.l
+        assert np.array_equal(rebuilt.numa, machine.numa)
+        if machine.memory_bounds is None:
+            assert rebuilt.memory_bounds is None
+        else:
+            assert np.array_equal(rebuilt.memory_bounds, machine.memory_bounds)
+
+    @given(machine=machines())
+    @settings(max_examples=30, deadline=None)
+    def test_machine_dict_is_json_stable(self, machine):
+        import json
+
+        once = _machine_to_dict(machine)
+        twice = _machine_to_dict(_machine_from_dict(json.loads(json.dumps(once))))
+        assert json.dumps(once, sort_keys=True) == json.dumps(twice, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Schedule round trip
+# ----------------------------------------------------------------------
+class TestScheduleRoundTrip:
+    @given(schedule=schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_round_trip_is_identity(self, schedule):
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.dag.n == schedule.dag.n
+        assert rebuilt.dag.edges == schedule.dag.edges
+        assert np.array_equal(rebuilt.dag.work, schedule.dag.work)
+        assert np.array_equal(rebuilt.dag.comm, schedule.dag.comm)
+        assert np.array_equal(rebuilt.dag.memory, schedule.dag.memory)
+        assert np.array_equal(rebuilt.proc, schedule.proc)
+        assert np.array_equal(rebuilt.step, schedule.step)
+        assert np.array_equal(rebuilt.machine.numa, schedule.machine.numa)
+        if schedule.machine.memory_bounds is None:
+            assert rebuilt.machine.memory_bounds is None
+        else:
+            assert np.array_equal(
+                rebuilt.machine.memory_bounds, schedule.machine.memory_bounds
+            )
+
+    @given(schedule=schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_cost_and_validity(self, schedule):
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.cost() == schedule.cost()
+        assert rebuilt.validation_errors() == schedule.validation_errors()
+
+    @given(schedule=schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_dict_is_json_round_trippable(self, schedule):
+        import json
+
+        payload = json.loads(json.dumps(schedule_to_dict(schedule)))
+        rebuilt = schedule_from_dict(payload)
+        assert rebuilt.cost() == schedule.cost()

@@ -1,0 +1,298 @@
+"""Acceptance tests: the portfolio reachable from every entry point.
+
+ISSUE 5 acceptance criteria: ``portfolio(...)`` must be constructible from a
+spec string, ProblemSpec JSON, ``repro.api.solve`` and the CLI; a warm-cache
+re-solve must return a byte-identical :class:`~repro.spec.SolveResult`
+without invoking the underlying scheduler; and the rules-mode portfolio must
+cost no more than the worst single registered heuristic on every
+tiny-dataset instance.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.experiments.datasets import build_dataset
+from repro.model.machine import BspMachine
+from repro.spec import DagSpec, MachineSpec, ProblemSpec, SolveRequest
+
+
+@pytest.fixture
+def problem():
+    return ProblemSpec(
+        dag=DagSpec.generator("spmv", n=7, q=0.3, seed=2),
+        machine=MachineSpec(P=4, g=2, l=5),
+    )
+
+
+class TestEntryPoints:
+    def test_solve_request_json_round_trip(self, problem):
+        request = SolveRequest(spec=problem, scheduler="portfolio")
+        rebuilt = SolveRequest.from_json(request.to_json())
+        assert rebuilt.scheduler == "portfolio"
+        result = api.solve(rebuilt)
+        assert result.valid
+        assert result.scheduler == "portfolio"
+        assert result.total_cost > 0
+
+    def test_solve_many_with_portfolio(self, problem):
+        requests = [
+            SolveRequest(spec=problem, scheduler="portfolio"),
+            SolveRequest(spec=problem, scheduler="cilk"),
+        ]
+        results = api.solve_many(requests)
+        assert all(r.valid for r in results)
+        serial = [api.solve(r) for r in requests]
+        assert [r.to_json() for r in results] == [r.to_json() for r in serial]
+
+    def test_cli_schedule_with_portfolio_and_cache(self, problem, tmp_path, capsys):
+        spec_file = tmp_path / "problem.json"
+        spec_file.write_text(problem.to_json())
+        code = main(
+            [
+                "schedule",
+                "--spec", str(spec_file),
+                "--scheduler", "portfolio",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "portfolio schedule" in capsys.readouterr().out
+        # The run populated the cache through the default-cache-dir hook.
+        assert any((tmp_path / "cache").rglob("*.json"))
+
+    def test_cli_portfolio_explain(self, problem, tmp_path, capsys):
+        spec_file = tmp_path / "problem.json"
+        spec_file.write_text(problem.to_json())
+        assert main(["portfolio-explain", "--spec", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "signature" in out
+        assert "num_nodes" in out and "effective_ccr" in out
+        assert "scheduler :" in out and "rule" in out
+
+    def test_cli_list_schedulers(self, capsys):
+        assert main(["list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out and "multilevel" in out
+        assert "det" in out and "parameters:" in out
+
+    def test_cli_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_sweep_portfolio_column(self, problem):
+        from repro.experiments.sweep import sweep
+
+        dag = problem.build_dag()
+        records = sweep(
+            {"tiny": [dag]},
+            [MachineSpec(P=4, g=2, l=5)],
+            baseline="cilk",
+            scheduler_specs=["cilk", "portfolio"],
+        )
+        algorithms = {r.algorithm for r in records}
+        assert "portfolio" in algorithms and "cilk" in algorithms
+        portfolio_records = [r for r in records if r.algorithm == "portfolio"]
+        assert all(r.cost > 0 and r.ratio_to_baseline > 0 for r in portfolio_records)
+
+
+class TestWarmCacheAcceptance:
+    def test_warm_resolve_is_byte_identical_without_rescheduling(
+        self, problem, tmp_path, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        request = SolveRequest(
+            spec=problem, scheduler=f"portfolio(cache='{cache_dir}')"
+        )
+        cold = api.solve(request)
+        assert cold.valid
+
+        # Any attempt to build or run an underlying scheduler now fails the
+        # test: the warm solve must come entirely from the cache.
+        import repro.portfolio.selector as selector_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("warm cache re-solve must not select/solve")
+
+        monkeypatch.setattr(selector_module, "race", explode)
+        monkeypatch.setattr(selector_module, "select_scheduler", explode)
+        warm = api.solve(request)
+        assert warm.to_json() == cold.to_json()
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
+
+    def test_batch_cli_cache_round_trip(self, problem, tmp_path, capsys):
+        requests_file = tmp_path / "requests.jsonl"
+        cache_dir = tmp_path / "cache"
+        requests_file.write_text(
+            SolveRequest(spec=problem, scheduler="portfolio").to_json() + "\n"
+        )
+        out1 = tmp_path / "first.jsonl"
+        out2 = tmp_path / "second.jsonl"
+        assert main(["batch", str(requests_file), "--out", str(out1),
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert main(["batch", str(requests_file), "--out", str(out2),
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+
+
+class TestRulesQualityAcceptance:
+    def test_rules_never_worse_than_worst_heuristic_on_tiny(self):
+        """Portfolio(rules) cost <= the worst registered heuristic, per instance."""
+        from repro.registry import make_scheduler
+
+        heuristics = ["cilk", "hdagg", "bl-est", "etf", "bspg", "source", "level-rr"]
+        machine = BspMachine(P=4, g=2.0, l=5.0)
+        portfolio = make_scheduler("portfolio")
+        for dag in build_dataset("tiny", scale="smoke", seed=11, max_instances=6):
+            worst = max(
+                make_scheduler(h).schedule_checked(dag, machine).cost()
+                for h in heuristics
+            )
+            cost = portfolio.schedule_checked(dag, machine).cost()
+            assert cost <= worst, (
+                f"portfolio chose {portfolio.last_chosen} on {dag.name}: "
+                f"{cost} > worst heuristic {worst}"
+            )
+
+
+class TestBatchExitCode:
+    def test_batch_reports_invalid_requests_nonzero(self, tmp_path, capsys):
+        good = ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=1),
+            machine=MachineSpec(P=2, g=2, l=3),
+        )
+        # 2 * 3.0 is far below the total memory weight: no scheduler can
+        # produce a feasible schedule, so this request must come back invalid.
+        bad = ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=1),
+            machine=MachineSpec(P=2, g=2, l=3, memory_bound=3.0),
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            SolveRequest(spec=good, scheduler="cilk").to_json() + "\n"
+            + SolveRequest(spec=bad, scheduler="cilk").to_json() + "\n"
+        )
+        out = tmp_path / "results.jsonl"
+        code = main(["batch", str(requests_file), "--out", str(out)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "batch summary: 1/2 ok, 1 invalid" in captured.err
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 2
+
+        def strict(text):
+            # Reject Infinity/NaN literals: batch output must be strict JSON.
+            def no_const(name):
+                raise AssertionError(f"non-compliant JSON constant {name!r} in output")
+
+            return json.loads(text, parse_constant=no_const)
+
+        first, second = strict(lines[0]), strict(lines[1])
+        assert first["valid"] is True
+        assert second["valid"] is False
+        assert second["total_cost"] is None  # infinite cost serializes as null
+        from repro.spec import SolveResult
+
+        assert SolveResult.from_json(lines[1]).total_cost == float("inf")
+
+    def test_batch_survives_unknown_scheduler(self, tmp_path, capsys):
+        """A request that cannot even be constructed must not sink the batch."""
+        good = ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=1),
+            machine=MachineSpec(P=2, g=2, l=3),
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            SolveRequest(spec=good, scheduler="no-such-scheduler").to_json() + "\n"
+            + SolveRequest(spec=good, scheduler="portfolio(mode=rules, candidates=[])").to_json() + "\n"
+            + SolveRequest(spec=good, scheduler="cilk").to_json() + "\n"
+        )
+        out = tmp_path / "results.jsonl"
+        code = main(["batch", str(requests_file), "--out", str(out)])
+        assert code == 1
+        assert "batch summary: 1/3 ok, 2 invalid" in capsys.readouterr().err
+        lines = [json.loads(l) for l in out.read_text().strip().splitlines()]
+        assert [l["valid"] for l in lines] == [False, False, True]
+        assert "no-such-scheduler" in lines[0]["scheduler"]
+        assert lines[2]["total_cost"] > 0
+
+    def test_batch_all_valid_exits_zero(self, tmp_path, capsys):
+        good = ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=1),
+            machine=MachineSpec(P=2, g=2, l=3),
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            SolveRequest(spec=good, scheduler="cilk").to_json() + "\n"
+        )
+        assert main(["batch", str(requests_file)]) == 0
+        assert "batch summary: 1/1 ok, 0 invalid" in capsys.readouterr().err
+
+
+class TestStrictResumeContract:
+    def test_strict_resume_reruns_invalid_tolerant_records(self, tmp_path):
+        """Resuming a tolerant checkpoint strictly must raise, not return valid=False."""
+        from repro.scheduler import SchedulingError
+
+        bad = ProblemSpec(
+            dag=DagSpec.generator("spmv", n=6, q=0.3, seed=1),
+            machine=MachineSpec(P=2, g=2, l=3, memory_bound=3.0),
+        )
+        requests = [SolveRequest(spec=bad, scheduler="cilk")]
+        checkpoint = tmp_path / "cp.jsonl"
+        tolerant = api.solve_many(requests, checkpoint=checkpoint, tolerant=True)
+        assert not tolerant[0].valid
+        with pytest.raises(SchedulingError):
+            api.solve_many(requests, checkpoint=checkpoint, resume=True)
+
+
+class TestIterCheckpoint:
+    def test_iter_checkpoint_streams_records(self, tmp_path):
+        from repro.experiments.persistence import (
+            CheckpointWriter,
+            iter_checkpoint,
+            read_checkpoint,
+        )
+
+        path = tmp_path / "ckpt.jsonl"
+        with CheckpointWriter(path) as writer:
+            for k in range(5):
+                writer.append({"item": k})
+        # Truncated trailing line (simulated crash) is skipped by both.
+        with path.open("a") as handle:
+            handle.write('{"item": 5, "cost":')
+        iterator = iter_checkpoint(path)
+        assert next(iterator) == {"item": 0}
+        assert list(iterator) == [{"item": k} for k in range(1, 5)]
+        assert read_checkpoint(path) == [{"item": k} for k in range(5)]
+
+    def test_resume_uses_streaming_reader(self, tmp_path, monkeypatch):
+        """ParallelRunner.execute resumes through iter_checkpoint, not read_checkpoint."""
+        import repro.experiments.persistence as persistence
+        from repro.experiments.runner import ParallelRunner, WorkItem
+        from repro.graphs.fine import spmv_dag
+
+        dag = spmv_dag(5, q=0.3, seed=1)
+        machine = BspMachine(P=2, g=1, l=2)
+        items = [
+            WorkItem(index=0, instance=0, dag=dag, machine=machine, scheduler="cilk")
+        ]
+        checkpoint = tmp_path / "resume.jsonl"
+        ParallelRunner(1, checkpoint=str(checkpoint)).execute(items)
+
+        def no_read(path):
+            raise AssertionError("resume must stream via iter_checkpoint")
+
+        monkeypatch.setattr(persistence, "read_checkpoint", no_read)
+        results = ParallelRunner(
+            1, checkpoint=str(checkpoint), resume=True
+        ).execute(items)
+        assert results[0].costs
