@@ -12,7 +12,7 @@ import pytest
 
 from repro.baselines.cilk import CilkScheduler
 from repro.baselines.hdagg import HDaggScheduler
-from repro.baselines.list_schedulers import EtfScheduler
+from repro.baselines.list_schedulers import BlEstScheduler, EtfScheduler
 from repro.experiments.runner import ParallelRunner
 from repro.graphs.dag import ComputationalDAG
 from repro.graphs.fine import exp_dag
@@ -57,6 +57,11 @@ def test_cilk_scheduler(benchmark, dag, machine):
 
 def test_etf_scheduler(benchmark, dag, machine):
     sched = benchmark(EtfScheduler().schedule, dag, machine)
+    assert sched.is_valid()
+
+
+def test_bl_est_scheduler(benchmark, dag, machine):
+    sched = benchmark(BlEstScheduler().schedule, dag, machine)
     assert sched.is_valid()
 
 

@@ -1,0 +1,110 @@
+"""CI regression gate over the committed benchmark baselines.
+
+Compares a freshly produced ``BENCH_*.json`` (from ``benchmarks/run_all.py``)
+against a committed baseline under ``benchmarks/baselines/`` and fails when
+the *geometric mean* of the per-benchmark mean-time ratios exceeds the
+tolerance.  The geomean is the gate — individual benchmarks are allowed to
+jitter (CI machines are noisy and some micro-benchmarks run in hundreds of
+microseconds) as long as the suite as a whole has not slowed down.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --label ci --out BENCH_ci.json
+    python benchmarks/check_regression.py BENCH_ci.json \
+        --baseline benchmarks/baselines/BENCH_pr6.json --tolerance 1.25
+
+Only benchmarks present in *both* payloads are compared, so adding or
+removing a benchmark never trips the gate by itself; the report lists the
+unmatched names so silent coverage loss is at least visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+DEFAULT_BASELINE = os.path.join(BENCH_DIR, "baselines", "BENCH_pr6.json")
+DEFAULT_TOLERANCE = 1.25
+
+
+def flatten(payload: dict) -> Dict[Tuple[str, str], float]:
+    """``{(suite, benchmark): mean seconds}`` from a repro-bench payload."""
+    out: Dict[Tuple[str, str], float] = {}
+    for suite, benches in payload.get("suites", {}).items():
+        for name, stats in benches.items():
+            mean = float(stats["mean_s"])
+            if mean > 0:
+                out[(suite, name)] = mean
+    return out
+
+
+def compare(
+    baseline: dict, current: dict
+) -> Tuple[float, List[Tuple[str, str, float, float, float]], List[Tuple[str, str]]]:
+    """Geomean slowdown ratio, per-benchmark rows, and unmatched keys."""
+    base = flatten(baseline)
+    cur = flatten(current)
+    shared = sorted(set(base) & set(cur))
+    unmatched = sorted((set(base) ^ set(cur)))
+    if not shared:
+        raise SystemExit("no shared benchmarks between baseline and current payloads")
+    rows = []
+    log_sum = 0.0
+    for key in shared:
+        ratio = cur[key] / base[key]
+        log_sum += math.log(ratio)
+        rows.append((key[0], key[1], base[key], cur[key], ratio))
+    geomean = math.exp(log_sum / len(shared))
+    return geomean, rows, unmatched
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_*.json produced by benchmarks/run_all.py")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline payload (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"maximum allowed geomean slowdown (default: {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    geomean, rows, unmatched = compare(baseline, current)
+
+    width = max(len(name) for _, name, _, _, _ in rows)
+    print(f"baseline: {args.baseline} (label={baseline.get('label')})")
+    print(f"current:  {args.current} (label={current.get('label')})")
+    print()
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'curr ms':>10}  {'ratio':>7}")
+    for suite, name, b, c, r in sorted(rows, key=lambda row: -row[4]):
+        print(f"{name:<{width}}  {b * 1e3:>10.3f}  {c * 1e3:>10.3f}  {r:>6.2f}x")
+    for key in unmatched:
+        print(f"(unmatched, not gated: {key[0]}::{key[1]})")
+    print()
+    print(f"geomean ratio over {len(rows)} shared benchmarks: {geomean:.3f}x "
+          f"(tolerance {args.tolerance:.2f}x)")
+    if geomean > args.tolerance:
+        print("FAIL: benchmark suite slowed down beyond tolerance", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Aggregate benchmark runner emitting one schema-stable ``BENCH_*.json``.
+
+The per-suite benchmarks under ``benchmarks/`` produce pytest-benchmark JSON
+files whose schema (machine info, full statistics, interleaved metadata)
+is too volatile to diff across PRs.  This runner executes the requested
+suites and condenses their results into the committed baseline schema:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "label": "pr6",
+      "scale": "smoke",
+      "suites": {
+        "bench_core_micro": {
+          "test_hill_climbing_hot_path": {"mean_s": 0.0384, "min_s": 0.0379, "rounds": 3}
+        }
+      }
+    }
+
+Only the fields that the regression gate (``benchmarks/check_regression.py``)
+reads are kept, so baselines committed under ``benchmarks/baselines/`` stay
+small and stable.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --label pr6 --out BENCH_pr6.json
+    PYTHONPATH=src python benchmarks/run_all.py --suites bench_core_micro
+
+The default suite set is the kernel micro-benchmarks plus the portfolio
+bench; table benchmarks are opt-in (they re-run whole paper experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+SCHEMA = "repro-bench/1"
+
+#: Suites aggregated by default: fast, library-level benchmarks whose
+#: timings track the kernel hot paths rather than whole paper tables.
+DEFAULT_SUITES = ("bench_core_micro", "bench_portfolio")
+
+
+def condense(raw: dict) -> Dict[str, dict]:
+    """Reduce one pytest-benchmark JSON payload to the stable schema.
+
+    Returns a mapping ``{benchmark name: {"mean_s", "min_s", "rounds"}}``;
+    the benchmark *name* (``test_...``) is the stable join key the
+    regression gate matches on.
+    """
+    out: Dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_s": float(stats["mean"]),
+            "min_s": float(stats["min"]),
+            "rounds": int(stats["rounds"]),
+        }
+    return out
+
+
+def run_suite(suite: str, *, pytest_args: Optional[List[str]] = None) -> Dict[str, dict]:
+    """Run one benchmark suite and return its condensed results."""
+    path = os.path.join(BENCH_DIR, f"{suite}.py")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such benchmark suite: {path}")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            path,
+            "-q",
+            f"--benchmark-json={json_path}",
+        ] + (pytest_args or [])
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get("PYTHONPATH", "")
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(f"benchmark suite {suite} failed (exit {proc.returncode})")
+        with open(json_path) as fh:
+            return condense(json.load(fh))
+    finally:
+        os.unlink(json_path)
+
+
+def aggregate(
+    suites: List[str],
+    *,
+    label: str,
+    scale: Optional[str] = None,
+    pytest_args: Optional[List[str]] = None,
+) -> dict:
+    """Run every suite and merge the condensed results into one payload."""
+    payload = {
+        "schema": SCHEMA,
+        "label": label,
+        "scale": scale or os.environ.get("REPRO_BENCH_SCALE", "smoke"),
+        "suites": {},
+    }
+    for suite in suites:
+        payload["suites"][suite] = run_suite(suite, pytest_args=pytest_args)
+    return payload
+
+
+def write_payload(payload: dict, out: str) -> None:
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suites",
+        nargs="+",
+        default=list(DEFAULT_SUITES),
+        help=f"benchmark suites to run (default: {' '.join(DEFAULT_SUITES)})",
+    )
+    parser.add_argument("--label", default="local", help="label recorded in the payload")
+    parser.add_argument("--out", default="BENCH_local.json", help="output JSON path")
+    parser.add_argument(
+        "--pytest-arg",
+        action="append",
+        default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = aggregate(args.suites, label=args.label, pytest_args=args.pytest_arg)
+    write_payload(payload, args.out)
+    total = sum(len(v) for v in payload["suites"].values())
+    print(f"wrote {args.out}: {total} benchmarks from {len(payload['suites'])} suite(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

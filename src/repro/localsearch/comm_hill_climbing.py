@@ -10,6 +10,18 @@ that window whenever this lowers the total h-relation cost.
 
 Like the paper's implementation, transfers are always sent directly from the
 producing processor (no relaying through third processors).
+
+The h-relation state sits on the shared
+:class:`~repro.localsearch.engine.IncrementalCostEngine` (with ``g = 1`` and
+``l = 0`` the engine's per-superstep cost *is* the h-relation of that
+superstep, bit for bit), and the whole window of a transfer is probed in one
+vectorized shot (:meth:`CommScheduleState.probe_window`): a transfer adds
+volume to exactly one send and one receive cell, so the h-relation of a
+candidate phase is ``max(h(s), send[s, p] + vol, recv[s, q] + vol)`` —
+no matrix mutation, no apply/revert round trip.  Earlier revisions moved
+each trial onto the matrices and reverted on failure, which both paid two
+row refreshes per trial and accumulated ``(a + v) - v`` float residue in the
+cells; probing against the pristine state is faster and exact.
 """
 
 from __future__ import annotations
@@ -22,10 +34,14 @@ import numpy as np
 
 from ..model.comm import CommSchedule
 from ..model.schedule import BspSchedule
+from .engine import RECV, SEND, IncrementalCostEngine
 
 __all__ = ["CommScheduleState", "CommHillClimbingResult", "comm_hill_climb", "CommScheduleImprover"]
 
 _EPS = 1e-9
+
+#: Budget checks between ``time.monotonic()`` reads (see hill_climbing).
+_CLOCK_STRIDE = 64
 
 
 class CommScheduleState:
@@ -33,7 +49,9 @@ class CommScheduleState:
 
     Like :class:`~repro.localsearch.state.LocalSearchState`, the state lives
     in flat numpy ``(S, P)`` send / receive matrices with a per-superstep
-    cost vector on top; construction and refresh are vectorized.
+    cost vector on top — all owned by a shared
+    :class:`~repro.localsearch.engine.IncrementalCostEngine` whose ``g = 1``
+    / ``l = 0`` parameters make its per-row cost exactly the h-relation.
     """
 
     def __init__(self, schedule: BspSchedule) -> None:
@@ -75,49 +93,96 @@ class CommScheduleState:
             for key in self.transfers:
                 self.current[key] = self.window[key][1]
 
-        self.send = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
-        self.recv = np.zeros((max(self.S, 1), self.P), dtype=np.float64)
+        rows = max(self.S, 1)
+        send = np.zeros((rows, self.P), dtype=np.float64)
+        recv = np.zeros((rows, self.P), dtype=np.float64)
         if self.current:
             u_arr = np.fromiter((k[0] for k in self.current), dtype=np.int64, count=len(self.current))
             q_arr = np.fromiter((k[1] for k in self.current), dtype=np.int64, count=len(self.current))
             s_arr = np.fromiter(self.current.values(), dtype=np.int64, count=len(self.current))
             p_from = np.asarray(schedule.proc)[u_arr]
             volumes = self.dag.comm[u_arr].astype(np.float64) * self.numa[p_from, q_arr]
-            np.add.at(self.send, (s_arr, p_from), volumes)
-            np.add.at(self.recv, (s_arr, q_arr), volumes)
-        self.step_comm = np.maximum(self.send, self.recv).max(axis=1)
-        self.comm_total = float(self.step_comm.sum())
+            np.add.at(send, (s_arr, p_from), volumes)
+            np.add.at(recv, (s_arr, q_arr), volumes)
+        self.engine = IncrementalCostEngine(
+            np.zeros((rows, self.P), dtype=np.float64), send, recv, 1.0, 0.0
+        )
 
     # ------------------------------------------------------------------
-    def _add(self, u: int, q: int, s: int, sign: float) -> None:
+    @property
+    def send(self) -> np.ndarray:
+        return self.engine.send
+
+    @property
+    def recv(self) -> np.ndarray:
+        return self.engine.recv
+
+    @property
+    def step_comm(self) -> np.ndarray:
+        """Per-superstep h-relation (the engine's cost rows, ``g=1, l=0``)."""
+        return self.engine.step_cost
+
+    @property
+    def comm_total(self) -> float:
+        return self.engine.total_cost
+
+    def _volume(self, u: int, q: int) -> float:
         p_from = self._proc_list[u]
-        volume = self._comm_list[u] * self._numa_list[p_from][q] * sign
-        self.send[s, p_from] += volume
-        self.recv[s, q] += volume
-
-    def _step_cost(self, s: int) -> float:
-        return max(float(self.send[s].max()), float(self.recv[s].max()))
-
-    def _refresh(self, steps) -> None:
-        rows = np.unique(np.fromiter(steps, dtype=np.int64))
-        new = np.maximum(self.send[rows], self.recv[rows]).max(axis=1)
-        self.comm_total += float(new.sum() - self.step_comm[rows].sum())
-        self.step_comm[rows] = new
+        return self._comm_list[u] * self._numa_list[p_from][q]
 
     def move(self, u: int, q: int, new_step: int) -> float:
         """Reschedule the transfer ``u -> q`` to ``new_step``; return new h-cost sum."""
         old = self.current[(u, q)]
         if new_step == old:
-            return self.comm_total
-        self._add(u, q, old, -1.0)
-        self._add(u, q, new_step, +1.0)
+            return self.engine.total_cost
+        p_from = self._proc_list[u]
+        volume = self._volume(u, q)
         self.current[(u, q)] = new_step
-        self._refresh((old, new_step))
-        return self.comm_total
+        return self.engine.apply_cells(
+            [
+                (SEND, old, p_from, -volume),
+                (RECV, old, q, -volume),
+                (SEND, new_step, p_from, volume),
+                (RECV, new_step, q, volume),
+            ]
+        )
+
+    def probe_window(self, u: int, q: int) -> np.ndarray:
+        """Total h-cost if ``u -> q`` moved to each phase of its window.
+
+        Returns the cost vector aligned with ``range(lo, hi + 1)``; the
+        entry of the transfer's current phase equals the current total.  The
+        state is not touched: removing the transfer affects one superstep
+        row (re-scanned once), and adding it to a candidate phase raises
+        that phase's h-relation to at most
+        ``max(h(s), send[s, p_from] + vol, recv[s, q] + vol)`` — exact,
+        because a single cell changes per matrix.
+        """
+        lo, hi = self.window[(u, q)]
+        c = self.current[(u, q)]
+        p_from = self._proc_list[u]
+        volume = self._volume(u, q)
+        engine = self.engine
+        send, recv = engine.send, engine.recv
+        sc = engine.step_cost
+
+        srow = send[c].copy()
+        srow[p_from] -= volume
+        rrow = recv[c].copy()
+        rrow[q] -= volume
+        h_removed = max(float(srow.max()), float(rrow.max()))
+
+        block = slice(lo, hi + 1)
+        h_new = np.maximum(
+            sc[block], np.maximum(send[block, p_from] + volume, recv[block, q] + volume)
+        )
+        costs = (engine.total_cost - float(sc[c]) + h_removed) + (h_new - sc[block])
+        costs[c - lo] = engine.total_cost
+        return costs
 
     def total_comm_cost(self) -> float:
         """Sum over supersteps of the h-relation cost (not yet times ``g``)."""
-        return self.comm_total
+        return self.engine.total_cost
 
     def to_comm_schedule(self) -> CommSchedule:
         comm = CommSchedule()
@@ -148,12 +213,20 @@ def comm_hill_climb(
     state = CommScheduleState(schedule)
     start = time.monotonic()
     moves_applied = 0
+    budget_calls = 0
+    timed_out = False
 
     def out_of_budget() -> bool:
+        nonlocal budget_calls, timed_out
         if max_moves is not None and moves_applied >= max_moves:
             return True
-        if time_limit is not None and time.monotonic() - start > time_limit:
-            return True
+        if time_limit is not None:
+            if timed_out:
+                return True
+            budget_calls += 1
+            if budget_calls % _CLOCK_STRIDE == 1:
+                timed_out = time.monotonic() - start > time_limit
+                return timed_out
         return False
 
     improved_any = True
@@ -167,15 +240,16 @@ def comm_hill_climb(
                 continue
             current_step = state.current[(u, q)]
             current_cost = state.comm_total
-            for s in range(lo, hi + 1):
+            costs = state.probe_window(u, q)
+            for i in range(hi - lo + 1):
+                s = lo + i
                 if s == current_step:
                     continue
-                new_cost = state.move(u, q, s)
-                if new_cost < current_cost - _EPS:
+                if costs[i] < current_cost - _EPS:
+                    state.move(u, q, s)
                     moves_applied += 1
                     improved_any = True
                     break
-                state.move(u, q, current_step)
 
     out = schedule.copy()
     out.comm = state.to_comm_schedule()

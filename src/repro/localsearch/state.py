@@ -7,9 +7,10 @@ state for schedules with a *lazy* communication schedule, kept entirely in
 flat numpy arrays (the Dask-scheduler idiom: redundant, constant-time
 structures owned by one kernel layer):
 
-* per-superstep, per-processor work / send / receive matrices (the same
-  matrices :mod:`repro.model.cost` evaluates — both layers go through
-  :func:`repro.model.cost.superstep_matrices` and
+* the ``(S, P)`` work / send / receive matrices and their per-superstep
+  costs, owned by the shared
+  :class:`~repro.localsearch.engine.IncrementalCostEngine` (both layers go
+  through :func:`repro.model.cost.superstep_matrices` and
   :func:`repro.model.cost.superstep_row_costs`, so the cost formula has a
   single source of truth),
 * dense ``(n, P)`` tables ``succ_min`` / ``succ_min_cnt`` / ``succ_cnt``
@@ -19,12 +20,23 @@ structures owned by one kernel layer):
   information needed to maintain the (lazy) communication step of every
   transfer ``u -> p`` in O(1) per move (with an occasional CSR rescan when
   the minimum disappears),
-* the per-superstep cost contributions and their running total.
+* dense ``(n, P)`` step-bound tables ``lo`` / ``hi`` giving, for every node
+  and target processor, the window of supersteps the node may legally move
+  to.  They are built in one vectorized pass over the CSR edge arrays and
+  patched lazily for the few nodes whose neighbourhood an applied move
+  touched, so per-node candidate generation never rescans adjacency in
+  Python.
 
 Moves are applied with :meth:`LocalSearchState.apply_move`; candidate moves
 are probed with :meth:`LocalSearchState.move_delta`, which computes the cost
 change and leaves the state unchanged.  Both the hill-climbing variants and
-simulated annealing share these two entry points.
+simulated annealing share these two entry points.  For pass-level searches,
+:meth:`LocalSearchState.candidate_mask` exposes the whole move neighbourhood
+(step bounds and memory feasibility included) as one dense boolean array,
+and :meth:`LocalSearchState.probe_dependents` names the nodes whose probe
+results an applied move can invalidate — which is what lets
+:func:`~repro.localsearch.hill_climbing.hill_climb` skip re-probing nodes
+whose neighbourhood provably did not change.
 """
 
 from __future__ import annotations
@@ -34,9 +46,10 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs.dag import ComputationalDAG
-from ..model.cost import superstep_matrices, superstep_row_costs
+from ..model.cost import superstep_matrices
 from ..model.machine import MEMORY_EPS, BspMachine
 from ..model.schedule import BspSchedule
+from .engine import IncrementalCostEngine
 
 __all__ = ["LocalSearchState", "Move"]
 
@@ -44,9 +57,11 @@ Move = Tuple[int, int, int]
 """A candidate move ``(node, new_processor, new_superstep)``."""
 
 #: Sentinel for "no successor of u on p" in the ``succ_min`` table.  Large
-#: enough to never be a real superstep, small enough that ``_INF - 1`` does
+#: enough to never be a real superstep, small enough that ``_NO_STEP - 1`` does
 #: not overflow int64 arithmetic.
 _NO_STEP = np.iinfo(np.int64).max // 4
+
+_EMPTY_ROWS = np.zeros(0, dtype=np.int64)
 
 
 class LocalSearchState:
@@ -98,17 +113,14 @@ class LocalSearchState:
                 else [0.0] * self.P
             )
 
-        max_step = int(self.step.max()) if n else 0
-        self.S = max_step + 1 + self._SLACK
-
         # The (S, P) matrices come from the same code path as model.cost:
-        # the lazy-communication matrices of the current assignment.
+        # the lazy-communication matrices of the current assignment.  The
+        # engine owns them together with the per-row costs and the total.
         lazy = BspSchedule(self.dag, self.machine, self.proc, self.step)
         work, send, recv = superstep_matrices(lazy)
-        pad = self.S - work.shape[0]
-        self.work = np.vstack([work, np.zeros((pad, self.P))])
-        self.send = np.vstack([send, np.zeros((pad, self.P))])
-        self.recv = np.vstack([recv, np.zeros((pad, self.P))])
+        max_step = int(self.step.max()) if n else 0
+        slack = max_step + 1 + self._SLACK - work.shape[0]
+        self.engine = IncrementalCostEngine(work, send, recv, self.g, self.l, slack=slack)
 
         # Dense successor-step tables replacing the per-(node, processor)
         # Counter multisets of earlier revisions.  They are built vectorized
@@ -130,8 +142,55 @@ class LocalSearchState:
         self.succ_min_cnt: List[List[int]] = succ_min_cnt.tolist()
         self.succ_cnt: List[List[int]] = succ_cnt.tolist()
 
-        self.step_cost = superstep_row_costs(self.work, self.send, self.recv, self.g, self.l)
-        self.total_cost = float(self.step_cost.sum())
+        # Dense per-(node, processor) step-bound tables; built vectorized on
+        # first use (pass-level searches need all rows, probe-only users
+        # like simulated annealing never pay for the full build).
+        self._lo: Optional[np.ndarray] = None
+        self._hi: Optional[np.ndarray] = None
+        self._bounds_dirty = np.zeros(n, dtype=bool)
+
+        #: Superstep rows read by the most recent :meth:`move_deltas` probe
+        #: (the probe's delta is a pure function of these rows plus the
+        #: probed node's 2-hop neighbourhood assignments).
+        self.last_probe_rows: np.ndarray = _EMPTY_ROWS
+        #: Superstep rows whose matrices the most recent :meth:`apply_move`
+        #: changed (unique, within range).
+        self.last_touched_rows: np.ndarray = _EMPTY_ROWS
+
+    # ------------------------------------------------------------------
+    # Engine delegation (the matrices live on the shared engine)
+    # ------------------------------------------------------------------
+    @property
+    def work(self) -> np.ndarray:
+        return self.engine.work
+
+    @property
+    def send(self) -> np.ndarray:
+        return self.engine.send
+
+    @property
+    def recv(self) -> np.ndarray:
+        return self.engine.recv
+
+    @property
+    def step_cost(self) -> np.ndarray:
+        return self.engine.step_cost
+
+    @property
+    def total_cost(self) -> float:
+        return self.engine.total_cost
+
+    @property
+    def S(self) -> int:
+        return self.engine.S
+
+    @property
+    def memory_bounded(self) -> bool:
+        """Whether the machine carries per-processor memory bounds."""
+        return self._mem_bounds is not None
+
+    def _ensure_capacity(self, s: int) -> None:
+        self.engine.ensure_capacity(s)
 
     # ------------------------------------------------------------------
     # Low-level helpers
@@ -174,27 +233,6 @@ class LocalSearchState:
             self.succ_min[u][p] = new_min
             self.succ_min_cnt[u][p] = int((steps == new_min).sum())
 
-    def _refresh_steps(self, steps: Iterable[int]) -> None:
-        rows = np.unique(np.fromiter(steps, dtype=np.int64))
-        rows = rows[(rows >= 0) & (rows < self.S)]
-        if rows.size == 0:
-            return
-        new = superstep_row_costs(
-            self.work[rows], self.send[rows], self.recv[rows], self.g, self.l
-        )
-        self.total_cost += float(new.sum() - self.step_cost[rows].sum())
-        self.step_cost[rows] = new
-
-    def _ensure_capacity(self, s: int) -> None:
-        if s < self.S:
-            return
-        extra = s - self.S + 1 + self._SLACK
-        self.work = np.vstack([self.work, np.zeros((extra, self.P))])
-        self.send = np.vstack([self.send, np.zeros((extra, self.P))])
-        self.recv = np.vstack([self.recv, np.zeros((extra, self.P))])
-        self.step_cost = np.concatenate([self.step_cost, np.zeros(extra)])
-        self.S += extra
-
     # ------------------------------------------------------------------
     # Move validity
     # ------------------------------------------------------------------
@@ -203,6 +241,9 @@ class LocalSearchState:
 
         A predecessor on the target processor allows equality, any other
         predecessor forces strict inequality; symmetrically for successors.
+        This is the scalar reference used to patch single rows of the dense
+        bound tables; the tables themselves are built by the vectorized
+        :meth:`_build_bounds`.
         """
         P = self.P
         lo = [0] * P
@@ -224,6 +265,77 @@ class LocalSearchState:
                 if bound < hi[p]:
                     hi[p] = bound
         return lo, hi
+
+    def _build_bounds(self) -> None:
+        """Vectorized construction of the dense ``(n, P)`` lo / hi tables.
+
+        ``lo[v, p] = max over preds u of (step[u] + (proc[u] != p))`` and
+        ``hi[v, p] = min over succs w of (step[w] - (proc[w] != p))`` are
+        computed for *all* nodes in one pass over the CSR edge arrays using
+        the column-excluded-extremum trick: per-(node, processor) extrema of
+        the neighbour steps plus the top-2 extrema across processors.
+        """
+        n, P = self.dag.n, self.P
+        lo = np.zeros((n, P), dtype=np.int64)
+        hi = np.full((n, P), _NO_STEP, dtype=np.int64)
+        if self.dag.num_edges:
+            eu = self.dag.edge_sources
+            ev = self.dag.edge_targets
+            rows = np.arange(n)
+            cols = np.arange(P)[None, :]
+
+            # Predecessor side: per-(v, p) max step of preds on p ...
+            on = np.full((n, P), -1, dtype=np.int64)
+            np.maximum.at(on, (ev, self.proc[eu]), self.step[eu])
+            # ... and the max over the *other* processors, via top-2 maxima.
+            m1 = on.max(axis=1)
+            a1 = on.argmax(axis=1)
+            masked = on.copy()
+            masked[rows, a1] = -1
+            m2 = masked.max(axis=1)
+            excl = np.where(cols == a1[:, None], m2[:, None], m1[:, None])
+            lo = np.maximum(np.maximum(excl + 1, on), 0)
+
+            # Successor side, symmetric with minima.
+            on_s = np.full((n, P), _NO_STEP, dtype=np.int64)
+            np.minimum.at(on_s, (eu, self.proc[ev]), self.step[ev])
+            m1s = on_s.min(axis=1)
+            a1s = on_s.argmin(axis=1)
+            masked_s = on_s.copy()
+            masked_s[rows, a1s] = _NO_STEP
+            m2s = masked_s.min(axis=1)
+            excl_s = np.where(cols == a1s[:, None], m2s[:, None], m1s[:, None])
+            # "No successor off p" must stay at the sentinel, not sentinel-1.
+            excl_s = np.where(excl_s >= _NO_STEP, _NO_STEP, excl_s - 1)
+            hi = np.minimum(excl_s, on_s)
+        self._lo = lo
+        self._hi = hi
+        self._bounds_dirty = np.zeros(n, dtype=bool)
+
+    def _bounds_row(self, v: int) -> Tuple[List[int], List[int]]:
+        """Fresh lo / hi bounds of ``v`` as python lists, patching if dirty."""
+        if self._lo is None:
+            return self._step_bounds(v)
+        if self._bounds_dirty[v]:
+            lo, hi = self._step_bounds(v)
+            self._lo[v] = lo
+            self._hi[v] = hi
+            self._bounds_dirty[v] = False
+            return lo, hi
+        return self._lo[v].tolist(), self._hi[v].tolist()
+
+    def _refresh_bounds(self) -> None:
+        """Materialize the dense bound tables / patch every dirty row."""
+        if self._lo is None:
+            self._build_bounds()
+            return
+        if not self._bounds_dirty.any():
+            return
+        for v in np.nonzero(self._bounds_dirty)[0].tolist():
+            lo, hi = self._step_bounds(v)
+            self._lo[v] = lo
+            self._hi[v] = hi
+        self._bounds_dirty[:] = False
 
     def _memory_ok(self, v: int, new_proc: int) -> bool:
         """Whether moving ``v`` onto ``new_proc`` respects its memory bound.
@@ -256,7 +368,7 @@ class LocalSearchState:
             return False
         if not self._memory_ok(v, new_proc):
             return False
-        lo, hi = self._step_bounds(v)
+        lo, hi = self._bounds_row(v)
         return lo[new_proc] <= new_step <= hi[new_proc]
 
     def candidate_moves(self, v: int) -> List[Move]:
@@ -268,7 +380,7 @@ class LocalSearchState:
         """
         s = int(self.step[v])
         p0 = int(self.proc[v])
-        lo, hi = self._step_bounds(v)
+        lo, hi = self._bounds_row(v)
         moves: List[Move] = []
         for target_step in (s - 1, s, s + 1):
             if target_step < 0:
@@ -282,6 +394,60 @@ class LocalSearchState:
                     moves.append((v, p, target_step))
         return moves
 
+    def candidate_mask(self) -> np.ndarray:
+        """Dense ``(n, 3, P)`` mask of the whole move neighbourhood.
+
+        ``mask[v, j, p]`` is True iff moving ``v`` to processor ``p`` in
+        superstep ``step[v] + j - 1`` is valid (step bounds, non-identity
+        and memory feasibility included); axis 1 enumerates the target steps
+        ``s-1, s, s+1`` in :meth:`candidate_moves` order, so
+        ``np.nonzero(mask[v])`` reproduces that method's move ordering.
+        """
+        n = self.dag.n
+        mask = np.zeros((n, 3, self.P), dtype=bool)
+        if n == 0:
+            return mask
+        self._refresh_bounds()
+        t = self.step[:, None] + np.array([-1, 0, 1], dtype=np.int64)[None, :]
+        t3 = t[:, :, None]
+        mask = (self._lo[:, None, :] <= t3) & (t3 <= self._hi[:, None, :]) & (t3 >= 0)
+        mask[np.arange(n), 1, self.proc] = False
+        if self._mem_bounds is not None:
+            used = np.asarray(self.mem_used)
+            bounds = np.asarray(self._mem_bounds)
+            mem = np.asarray(self._mem_list)
+            fits = mem[:, None] + used[None, :] <= bounds[None, :] + MEMORY_EPS
+            fits[np.arange(n), self.proc] = True
+            mask &= fits[:, None, :]
+        return mask
+
+    def moves_from_mask(self, v: int, mask_row: np.ndarray) -> List[Move]:
+        """Decode one row of :meth:`candidate_mask` into a move list."""
+        s = int(self.step[v])
+        steps, procs = np.nonzero(mask_row)
+        return [(v, int(p), s + int(j) - 1) for j, p in zip(steps, procs)]
+
+    def probe_dependents(self, v: int) -> np.ndarray:
+        """Nodes whose cached probe results a move of ``v`` can invalidate.
+
+        A :meth:`move_deltas` probe of ``x`` reads the assignments of ``x``,
+        its predecessors and successors, and — through the successor-step
+        tables of its predecessors — of the other successors of those
+        predecessors.  Moving ``v`` therefore only affects probes of ``v``
+        itself, its neighbours, and its siblings-through-a-shared-parent;
+        all other probe results stay valid as long as the superstep rows
+        they read (:attr:`last_probe_rows`) are untouched.
+        """
+        preds = self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]]
+        parts = [
+            np.array([v], dtype=np.int64),
+            preds,
+            self._succ_indices[self._succ_indptr[v]:self._succ_indptr[v + 1]],
+        ]
+        si, sx = self._succ_indptr, self._succ_indices
+        parts.extend(sx[si[u]:si[u + 1]] for u in preds.tolist())
+        return np.unique(np.concatenate(parts))
+
     # ------------------------------------------------------------------
     # Applying moves
     # ------------------------------------------------------------------
@@ -293,35 +459,39 @@ class LocalSearchState:
         old_step = int(self.step[v])
         touched.append(old_step)
         touched.append(new_step)
+        engine = self.engine
+        send = engine.send
+        recv = engine.recv
 
         # --- work matrix -------------------------------------------------
         w_v = self._work_list[v]
-        self.work[old_step, old_proc] -= w_v
-        self.work[new_step, new_proc] += w_v
+        engine.work[old_step, old_proc] -= w_v
+        engine.work[new_step, new_proc] += w_v
 
         # --- outgoing transfers of v (v as the producer) -------------------
         # The set of target processors and their needed steps do not change,
         # but the source processor (and hence the NUMA weight and the sending
         # processor's load) does, and targets equal to the old/new processor
-        # appear/disappear.
+        # appear/disappear.  One vectorized scatter per matrix replaces the
+        # per-processor python loop (np.add.at keeps duplicate target rows
+        # accumulating in the same ascending-q order as the loop did).
         c_v = self._comm_list[v]
-        numa = self._numa_list
-        needed_row = self.succ_min[v]
-        for q in range(self.P):
-            nd = needed_row[q]
-            if nd >= _NO_STEP:
-                continue
-            row = nd - 1
-            if q != old_proc:
-                volume = c_v * numa[old_proc][q]
-                self.send[row, old_proc] -= volume
-                self.recv[row, q] -= volume
-                touched.append(row)
-            if q != new_proc:
-                volume = c_v * numa[new_proc][q]
-                self.send[row, new_proc] += volume
-                self.recv[row, q] += volume
-                touched.append(row)
+        nd = np.fromiter(self.succ_min[v], dtype=np.int64, count=self.P)
+        targets_q = np.nonzero(nd < _NO_STEP)[0]
+        if targets_q.size:
+            rows = nd[targets_q] - 1
+            old_mask = targets_q != old_proc
+            if old_mask.any():
+                volumes = c_v * self.numa[old_proc, targets_q[old_mask]]
+                np.subtract.at(send, (rows[old_mask], old_proc), volumes)
+                np.subtract.at(recv, (rows[old_mask], targets_q[old_mask]), volumes)
+                touched.extend(rows[old_mask].tolist())
+            new_mask = targets_q != new_proc
+            if new_mask.any():
+                volumes = c_v * self.numa[new_proc, targets_q[new_mask]]
+                np.add.at(send, (rows[new_mask], new_proc), volumes)
+                np.add.at(recv, (rows[new_mask], targets_q[new_mask]), volumes)
+                touched.extend(rows[new_mask].tolist())
 
         # Commit v's new position before touching the successor tables of its
         # parents: the rescan inside _succ_dec reads proc/step and must see
@@ -336,6 +506,7 @@ class LocalSearchState:
         # --- incoming transfers (v as a consumer of its predecessors) ------
         # The only target processors whose "first needed" superstep can
         # change are v's old and new processor.
+        numa = self._numa_list
         targets = (old_proc,) if new_proc == old_proc else (old_proc, new_proc)
         for u in self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist():
             pu = int(self.proc[u])
@@ -357,13 +528,22 @@ class LocalSearchState:
                     continue
                 volume = self._comm_list[u] * numa[pu][q]
                 if was_needed < _NO_STEP:
-                    self.send[was_needed - 1, pu] -= volume
-                    self.recv[was_needed - 1, q] -= volume
+                    send[was_needed - 1, pu] -= volume
+                    recv[was_needed - 1, q] -= volume
                     touched.append(was_needed - 1)
                 if now_needed < _NO_STEP:
-                    self.send[now_needed - 1, pu] += volume
-                    self.recv[now_needed - 1, q] += volume
+                    send[now_needed - 1, pu] += volume
+                    recv[now_needed - 1, q] += volume
                     touched.append(now_needed - 1)
+
+        # The step bounds of v's neighbours depend on v's assignment; patch
+        # their dense rows lazily on next access.
+        self._bounds_dirty[
+            self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]]
+        ] = True
+        self._bounds_dirty[
+            self._succ_indices[self._succ_indptr[v]:self._succ_indptr[v + 1]]
+        ] = True
 
     def apply_move(self, v: int, new_proc: int, new_step: int) -> float:
         """Apply the move and return the new total cost.
@@ -372,183 +552,247 @@ class LocalSearchState:
         :meth:`is_move_valid`); to revert, apply the inverse move with the
         node's previous processor and superstep.
         """
-        self._ensure_capacity(new_step)
+        engine = self.engine
+        engine.ensure_capacity(new_step)
         touched: List[int] = []
         self._apply_raw(v, new_proc, new_step, touched)
-        self._refresh_steps(touched)
-        return self.total_cost
+        rows = np.unique(np.fromiter(touched, dtype=np.int64))
+        rows = rows[(rows >= 0) & (rows < engine.S)]
+        self.last_touched_rows = rows
+        engine.refresh_rows(rows)
+        return engine.total_cost
+
+    def move_deltas_many(
+        self, items: Sequence[Tuple[int, Sequence[Move]]]
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Cost changes for candidate moves of *many* nodes, state unchanged.
+
+        This is the batched probe at the heart of the local searches.  For
+        each ``(v, moves)`` item, ``v``'s contribution at its current
+        position is removed once (shared by all its candidates) and each
+        candidate's additions are scattered into its own copy of the
+        affected superstep rows; the copies of *all items* live in one
+        ``(3, sum_i K_i * nR_i, P)`` tensor, so the whole batch costs one
+        gather, two scatter-adds and a single fused cost-kernel pass instead
+        of a dozen numpy calls per node.  All moves of an item must be valid
+        moves of that item's node (e.g. :meth:`candidate_moves` output); all
+        probes are evaluated against the same (current) state.
+
+        Returns ``(deltas, rows)``: per item, the per-candidate cost deltas
+        and the sorted superstep rows the probe read (the probe result is a
+        pure function of those rows plus the node's 2-hop neighbourhood
+        assignments — see :meth:`probe_dependents`).
+        """
+        engine = self.engine
+        P = self.P
+        numa = self._numa_list
+        sc = engine.step_cost_list
+        max_s = -1
+        for _, moves in items:
+            for mm in moves:
+                if mm[2] > max_s:
+                    max_s = mm[2]
+        if max_s >= 0:
+            engine.ensure_capacity(max_s)
+        S = engine.S
+
+        all_rows: List[int] = []      #: concatenated per-item sorted row sets
+        src: List[int] = []           #: base-row index for each expanded row
+        rm_m: List[int] = []          #: removal scatter (matrix, row, col, val)
+        rm_r: List[int] = []
+        rm_c: List[int] = []
+        rm_v: List[float] = []
+        ad_m: List[int] = []          #: per-candidate addition scatter
+        ad_r: List[int] = []
+        ad_c: List[int] = []
+        ad_v: List[float] = []
+        seg_starts: List[int] = []    #: first expanded row of every candidate
+        base_costs: List[float] = []  #: current cost of each item's rows, per candidate
+        shape: List[Tuple[int, int]] = []
+        rows_out: List[np.ndarray] = []
+        n_off = 0   # rows gathered so far
+        m_off = 0   # expanded (candidate-replicated) rows so far
+
+        for v, moves in items:
+            if not moves:
+                shape.append((0, 0))
+                rows_out.append(_EMPTY_ROWS)
+                continue
+            p0 = int(self.proc[v])
+            s0 = int(self.step[v])
+            parents = self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist()
+            proc_of = {u: int(self.proc[u]) for u in parents}
+            w_v = self._work_list[v]
+            c_v = self._comm_list[v]
+
+            # Targets of v's outgoing transfers (independent of v's position).
+            needed_row = self.succ_min[v]
+            out_q = [q for q in range(P) if needed_row[q] < _NO_STEP]
+            out_rows = [needed_row[q] - 1 for q in out_q]
+
+            # --- phase 1: virtually remove v from the successor tables -----
+            # The sentinel step keeps a _succ_dec rescan from seeing v at s0.
+            # Collection runs under try/finally so that even a probe of an
+            # invalid move (a precondition violation) cannot leave the
+            # tables in the "v removed" state.
+            old_nd_p0 = {}
+            self.step[v] = _NO_STEP
+            for u in parents:
+                old_nd_p0[u] = self.succ_min[u][p0]
+                self._succ_dec(u, p0, s0)
+            try:
+                # --- collect every superstep row a candidate can touch -----
+                cand_procs = {m[1] for m in moves}
+                cand_procs.add(p0)
+                rows = {s0}
+                rows.update(out_rows)
+                for (_, _, s) in moves:
+                    rows.add(s)
+                    rows.add(s - 1)
+                base_nd: dict = {}
+                for u in parents:
+                    if old_nd_p0[u] < _NO_STEP:
+                        rows.add(old_nd_p0[u] - 1)
+                    min_row = self.succ_min[u]
+                    for p in cand_procs:
+                        nd = min_row[p]
+                        base_nd[(u, p)] = nd
+                        if nd < _NO_STEP:
+                            rows.add(nd - 1)
+                rows_sorted = sorted(r for r in rows if 0 <= r < S)
+                nR = len(rows_sorted)
+                ridx = dict(zip(rows_sorted, range(nR)))
+
+                # --- phase 2: shared removal deltas (item's base rows) -----
+                rm_m.append(0)
+                rm_r.append(n_off + ridx[s0])
+                rm_c.append(p0)
+                rm_v.append(-w_v)
+                for q, row in zip(out_q, out_rows):
+                    if q == p0:
+                        continue
+                    volume = c_v * numa[p0][q]
+                    i = n_off + ridx[row]
+                    rm_m += (1, 2)
+                    rm_r += (i, i)
+                    rm_c += (p0, q)
+                    rm_v += (-volume, -volume)
+                for u in parents:
+                    pu = proc_of[u]
+                    if pu == p0:
+                        continue
+                    nd_old, nd_new = old_nd_p0[u], base_nd[(u, p0)]
+                    if nd_old == nd_new:
+                        continue
+                    volume = self._comm_list[u] * numa[pu][p0]
+                    if nd_old < _NO_STEP:
+                        i = n_off + ridx[nd_old - 1]
+                        rm_m += (1, 2)
+                        rm_r += (i, i)
+                        rm_c += (pu, p0)
+                        rm_v += (-volume, -volume)
+                    if nd_new < _NO_STEP:
+                        i = n_off + ridx[nd_new - 1]
+                        rm_m += (1, 2)
+                        rm_r += (i, i)
+                        rm_c += (pu, p0)
+                        rm_v += (volume, volume)
+
+                # --- phase 3: per-candidate addition deltas ----------------
+                K = len(moves)
+                for k, (_, p, s) in enumerate(moves):
+                    fo = m_off + k * nR
+                    seg_starts.append(fo)
+                    ad_m.append(0)
+                    ad_r.append(fo + ridx[s])
+                    ad_c.append(p)
+                    ad_v.append(w_v)
+                    for q, row in zip(out_q, out_rows):
+                        if q == p:
+                            continue
+                        volume = c_v * numa[p][q]
+                        i = fo + ridx[row]
+                        ad_m += (1, 2)
+                        ad_r += (i, i)
+                        ad_c += (p, q)
+                        ad_v += (volume, volume)
+                    for u in parents:
+                        pu = proc_of[u]
+                        if p == pu:
+                            continue
+                        nd = base_nd[(u, p)]
+                        if s < nd:
+                            # v becomes the earliest consumer of u on p: the
+                            # (lazy) transfer u -> p moves from superstep
+                            # nd-1 to superstep s-1.
+                            volume = self._comm_list[u] * numa[pu][p]
+                            if nd < _NO_STEP:
+                                i = fo + ridx[nd - 1]
+                                ad_m += (1, 2)
+                                ad_r += (i, i)
+                                ad_c += (pu, p)
+                                ad_v += (-volume, -volume)
+                            i = fo + ridx[s - 1]
+                            ad_m += (1, 2)
+                            ad_r += (i, i)
+                            ad_c += (pu, p)
+                            ad_v += (volume, volume)
+            finally:
+                # --- phase 4: restore the successor tables -----------------
+                for u in parents:
+                    self._succ_inc(u, p0, s0)
+                self.step[v] = s0
+
+            bc = 0.0
+            for r in rows_sorted:
+                bc += sc[r]
+            base_costs.extend([bc] * K)
+            rr = list(range(n_off, n_off + nR))
+            for _ in range(K):
+                src += rr
+            all_rows += rows_sorted
+            rows_out.append(np.fromiter(rows_sorted, dtype=np.int64, count=nR))
+            shape.append((K, nR))
+            n_off += nR
+            m_off += K * nR
+
+        if m_off == 0:
+            return [np.zeros(0, dtype=np.float64) for _ in items], rows_out
+
+        # --- phase 5: one gather + scatter + fused cost pass for the batch -
+        # Every item owns its own copies of its rows, so duplicate rows
+        # across items are independent; the additions scatter must be a
+        # buffered np.add.at because one candidate can hit a cell twice.
+        R_all = np.fromiter(all_rows, dtype=np.int64, count=n_off)
+        base_big = engine.mats[:, R_all]
+        np.add.at(base_big, (rm_m, rm_r, rm_c), rm_v)
+        T = base_big[:, np.fromiter(src, dtype=np.int64, count=m_off)]
+        np.add.at(T, (ad_m, ad_r, ad_c), ad_v)
+
+        from ..model.cost import superstep_block_costs
+
+        costs = superstep_block_costs(T, self.g, self.l)
+        sums = np.add.reduceat(costs, np.fromiter(seg_starts, dtype=np.int64, count=len(seg_starts)))
+        diff = sums - np.array(base_costs)
+        deltas: List[np.ndarray] = []
+        k_off = 0
+        for K, _ in shape:
+            deltas.append(diff[k_off:k_off + K])
+            k_off += K
+        return deltas, rows_out
 
     def move_deltas(self, v: int, moves: Sequence[Move]) -> np.ndarray:
         """Cost changes of several candidate moves of ``v``, state unchanged.
 
-        This is the vectorized probe at the heart of the local searches: the
-        contribution of ``v`` at its current position is removed once (it is
-        shared by every candidate), each candidate's additions are written
-        into a ``(K, rows, P)`` tensor of the affected superstep rows, and
-        all row costs are then evaluated in a single vectorized pass.  All
-        ``moves`` must be valid moves of the same node ``v`` (e.g. the output
-        of :meth:`candidate_moves`).
+        Single-item convenience wrapper around :meth:`move_deltas_many`.
+        All ``moves`` must be valid moves of the same node ``v`` (e.g. the
+        output of :meth:`candidate_moves`).
         """
         if not moves:
             return np.zeros(0, dtype=np.float64)
-        p0 = int(self.proc[v])
-        s0 = int(self.step[v])
-        self._ensure_capacity(max(m[2] for m in moves))
-        parents = self._pred_indices[self._pred_indptr[v]:self._pred_indptr[v + 1]].tolist()
-        proc_of = {u: int(self.proc[u]) for u in parents}
-        numa = self._numa_list
-        w_v = self._work_list[v]
-        c_v = self._comm_list[v]
-
-        # Targets of v's own outgoing transfers (independent of v's position).
-        needed_row = self.succ_min[v]
-        P = self.P
-        out_q = [q for q in range(P) if needed_row[q] < _NO_STEP]
-        out_rows = [needed_row[q] - 1 for q in out_q]
-
-        # --- phase 1: virtually remove v from the successor tables --------
-        # The sentinel step keeps a _succ_dec rescan from seeing v at s0.
-        # Phases 2-3 run under try/finally so that even a probe of an
-        # invalid move (a precondition violation) cannot leave the tables
-        # in the "v removed" state.
-        old_nd_p0 = {}
-        self.step[v] = _NO_STEP
-        for u in parents:
-            old_nd_p0[u] = self.succ_min[u][p0]
-            self._succ_dec(u, p0, s0)
-        try:
-            return self._move_deltas_removed(
-                v, moves, p0, s0, parents, proc_of, numa, w_v, c_v, out_q, out_rows,
-                old_nd_p0,
-            )
-        finally:
-            # --- phase 4: restore the successor tables ---------------------
-            for u in parents:
-                self._succ_inc(u, p0, s0)
-            self.step[v] = s0
-
-    def _move_deltas_removed(
-        self, v, moves, p0, s0, parents, proc_of, numa, w_v, c_v, out_q, out_rows,
-        old_nd_p0,
-    ) -> np.ndarray:
-        """Phases 2-5 of :meth:`move_deltas`, with v's contribution removed."""
-        P = self.P
-        # --- collect every superstep row any candidate can touch ----------
-        cand_procs = {m[1] for m in moves}
-        cand_procs.add(p0)
-        rows = {s0}
-        rows.update(out_rows)
-        for (_, _, s) in moves:
-            rows.add(s)
-            rows.add(s - 1)
-        base_nd: dict = {}
-        for u in parents:
-            if old_nd_p0[u] < _NO_STEP:
-                rows.add(old_nd_p0[u] - 1)
-            min_row = self.succ_min[u]
-            for p in cand_procs:
-                nd = min_row[p]
-                base_nd[(u, p)] = nd
-                if nd < _NO_STEP:
-                    rows.add(nd - 1)
-        rows_sorted = sorted(r for r in rows if 0 <= r < self.S)
-        nR = len(rows_sorted)
-        R = np.fromiter(rows_sorted, dtype=np.int64, count=nR)
-        ridx = dict(zip(rows_sorted, range(nR)))
-
-        # Fancy indexing already copies the selected rows.
-        base_work = self.work[R]
-        base_send = self.send[R]
-        base_recv = self.recv[R]
-
-        # --- phase 2: shared removal deltas --------------------------------
-        base_work[ridx[s0], p0] -= w_v
-        for q, row in zip(out_q, out_rows):
-            if q == p0:
-                continue
-            volume = c_v * numa[p0][q]
-            base_send[ridx[row], p0] -= volume
-            base_recv[ridx[row], q] -= volume
-        for u in parents:
-            pu = proc_of[u]
-            if pu == p0:
-                continue
-            nd_old, nd_new = old_nd_p0[u], base_nd[(u, p0)]
-            if nd_old == nd_new:
-                continue
-            volume = self._comm_list[u] * numa[pu][p0]
-            if nd_old < _NO_STEP:
-                base_send[ridx[nd_old - 1], pu] -= volume
-                base_recv[ridx[nd_old - 1], p0] -= volume
-            if nd_new < _NO_STEP:
-                base_send[ridx[nd_new - 1], pu] += volume
-                base_recv[ridx[nd_new - 1], p0] += volume
-
-        # --- phase 3: per-candidate addition deltas ------------------------
-        # Deltas are gathered as flat (k, row, proc) coordinates and applied
-        # with one scatter-add per matrix: python list appends are an order
-        # of magnitude cheaper than scalar writes into a 3-d numpy tensor,
-        # and at typical candidate counts (K <= 3P) this beats a fully
-        # numpy-side formulation whose per-call overhead dominates.
-        K = len(moves)
-        work_t = np.repeat(base_work[None], K, axis=0)
-        send_t = np.repeat(base_send[None], K, axis=0)
-        recv_t = np.repeat(base_recv[None], K, axis=0)
-        w_idx: List[int] = []
-        s_idx: List[int] = []
-        s_val: List[float] = []
-        r_idx: List[int] = []
-        r_val: List[float] = []
-        stride = nR * P
-        for k, (_, p, s) in enumerate(moves):
-            flat = k * stride
-            w_idx.append(flat + ridx[s] * P + p)
-            for q, row in zip(out_q, out_rows):
-                if q == p:
-                    continue
-                volume = c_v * numa[p][q]
-                cell = flat + ridx[row] * P
-                s_idx.append(cell + p)
-                s_val.append(volume)
-                r_idx.append(cell + q)
-                r_val.append(volume)
-            for u in parents:
-                pu = proc_of[u]
-                if p == pu:
-                    continue
-                nd = base_nd[(u, p)]
-                if s < nd:
-                    # v becomes the earliest consumer of u on p: the (lazy)
-                    # transfer u -> p moves from phase nd-1 to phase s-1.
-                    volume = self._comm_list[u] * numa[pu][p]
-                    if nd < _NO_STEP:
-                        cell = flat + ridx[nd - 1] * P
-                        s_idx.append(cell + pu)
-                        s_val.append(-volume)
-                        r_idx.append(cell + p)
-                        r_val.append(-volume)
-                    cell = flat + ridx[s - 1] * P
-                    s_idx.append(cell + pu)
-                    s_val.append(volume)
-                    r_idx.append(cell + p)
-                    r_val.append(volume)
-        work_t.ravel()[w_idx] += w_v
-        if s_idx:
-            np.add.at(send_t.ravel(), s_idx, s_val)
-            np.add.at(recv_t.ravel(), r_idx, r_val)
-
-        # --- phase 5: one vectorized cost pass over all candidates ---------
-        # (phase 4, restoring the successor tables, runs in the caller's
-        # finally block.)  The row blocks go through the shared kernel so the
-        # cost formula keeps its single source of truth in model.cost.
-        new_rows = superstep_row_costs(
-            work_t.reshape(-1, P),
-            send_t.reshape(-1, P),
-            recv_t.reshape(-1, P),
-            self.g,
-            self.l,
-        ).reshape(K, nR)
-        return new_rows.sum(axis=1) - float(self.step_cost[R].sum())
+        deltas, rows = self.move_deltas_many([(v, moves)])
+        self.last_probe_rows = rows[0]
+        return deltas[0]
 
     def move_delta(self, v: int, new_proc: int, new_step: int) -> float:
         """Cost change the move would cause, leaving the state unchanged."""

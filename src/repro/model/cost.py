@@ -29,7 +29,13 @@ import numpy as np
 
 from .schedule import BspSchedule
 
-__all__ = ["CostBreakdown", "evaluate", "superstep_matrices", "superstep_row_costs"]
+__all__ = [
+    "CostBreakdown",
+    "evaluate",
+    "superstep_matrices",
+    "superstep_row_costs",
+    "superstep_block_costs",
+]
 
 #: Tolerance below which a superstep's total activity counts as "empty"
 #: (guards against float residue left behind by incremental +=/-= updates).
@@ -129,6 +135,24 @@ def superstep_row_costs(
         | (recv.sum(axis=1) > OCCUPANCY_TOL)
     )
     return w + float(g) * h + float(l) * occurs
+
+
+def superstep_block_costs(blocks: np.ndarray, g: float, l: float) -> np.ndarray:
+    """Per-superstep costs of a stacked ``(3, k, P)`` work/send/recv block.
+
+    Identical (bitwise) to ``superstep_row_costs(blocks[0], blocks[1],
+    blocks[2], g, l)``, but with the reductions fused across the three
+    matrices — one max, one sum and one comparison instead of three of each
+    — which matters on the local-search probe path where the blocks are tiny
+    and per-call overhead dominates.  The formula itself is the same
+    ``C(s) = w(s) + g * h(s) + l * occurs(s)``; this function and
+    :func:`superstep_row_costs` are the only two places that spell it.
+    """
+    if blocks.size == 0:
+        return np.zeros(blocks.shape[1], dtype=np.float64)
+    mx = blocks.max(axis=2)
+    occurs = (blocks.sum(axis=2) > OCCUPANCY_TOL).any(axis=0)
+    return mx[0] + float(g) * np.maximum(mx[1], mx[2]) + float(l) * occurs
 
 
 def evaluate(schedule: BspSchedule) -> CostBreakdown:

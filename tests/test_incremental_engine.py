@@ -1,0 +1,130 @@
+"""Property-based equivalence of :class:`IncrementalCostEngine`.
+
+The engine is the shared incremental-cost substrate of hill climbing,
+simulated annealing and the communication hill climber.  These tests drive
+it with random cell transactions and assert that its running totals always
+equal a from-scratch evaluation through the reference kernels in
+:mod:`repro.model.cost` — and that the fused block kernel is *bitwise*
+interchangeable with the row kernel it shortcuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localsearch.engine import RECV, SEND, WORK, IncrementalCostEngine
+from repro.model.cost import superstep_block_costs, superstep_row_costs
+
+
+@st.composite
+def matrices(draw):
+    S = draw(st.integers(min_value=1, max_value=6))
+    P = draw(st.sampled_from([1, 2, 4]))
+    def mat():
+        # Quarter-integer grid: all engine arithmetic on these values is
+        # exact in binary64, so undo round-trips can be checked bitwise.
+        vals = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=80), min_size=S * P, max_size=S * P
+            )
+        )
+        return np.array(vals, dtype=np.float64).reshape(S, P) / 4.0
+    return mat(), mat(), mat()
+
+
+@st.composite
+def engines(draw):
+    work, send, recv = draw(matrices())
+    g = draw(st.sampled_from([0.0, 1.0, 2.5]))
+    l = draw(st.sampled_from([0.0, 4.0]))
+    return IncrementalCostEngine(work, send, recv, g, l)
+
+
+def _reference_total(engine: IncrementalCostEngine) -> float:
+    rows = superstep_row_costs(
+        engine.work, engine.send, engine.recv, engine.g, engine.l
+    )
+    return float(rows.sum())
+
+
+@st.composite
+def transactions(draw, engine):
+    count = draw(st.integers(min_value=1, max_value=5))
+    cells = []
+    for _ in range(count):
+        mat = draw(st.sampled_from([WORK, SEND, RECV]))
+        row = draw(st.integers(min_value=0, max_value=engine.S + 2))
+        col = draw(st.integers(min_value=0, max_value=engine.P - 1))
+        val = draw(st.sampled_from([-3.0, -1.0, 0.5, 1.0, 4.0]))
+        cells.append((mat, row, col, val))
+    return cells
+
+
+class TestEngineMatchesReferenceKernels:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_random_transactions(self, data):
+        """Running total tracks the reference kernel through any apply sequence."""
+        engine = data.draw(engines(), label="engine")
+        assert engine.total_cost == pytest.approx(_reference_total(engine))
+        for _ in range(data.draw(st.integers(min_value=1, max_value=10), label="txns")):
+            cells = data.draw(transactions(engine), label="cells")
+            predicted = engine.total_cost + engine.probe_cells(cells)
+            applied = engine.apply_cells(cells)
+            # probe_cells promised exactly what apply_cells then delivered.
+            assert applied == pytest.approx(predicted)
+            assert engine.total_cost == pytest.approx(_reference_total(engine))
+            assert engine.total_cost == pytest.approx(engine.recompute_total())
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_undo_round_trip(self, data):
+        """undo() restores matrices, per-row costs and the total exactly."""
+        engine = data.draw(engines(), label="engine")
+        snapshot_mats = engine.mats.copy()
+        snapshot_cost = engine.step_cost.copy()
+        snapshot_total = engine.total_cost
+        depth = data.draw(st.integers(min_value=1, max_value=6), label="depth")
+        for _ in range(depth):
+            engine.apply_cells(data.draw(transactions(engine), label="cells"))
+        for _ in range(depth):
+            engine.undo()
+        assert np.array_equal(engine.mats[:, : snapshot_mats.shape[1]], snapshot_mats)
+        assert engine.step_cost[: snapshot_cost.size] == pytest.approx(snapshot_cost)
+        assert engine.total_cost == pytest.approx(snapshot_total)
+        assert engine.journal_depth == 0
+        with pytest.raises(IndexError):
+            engine.undo()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_block_kernel_bitwise_equals_row_kernel(self, data):
+        """superstep_block_costs is bit-for-bit superstep_row_costs, fused."""
+        work, send, recv = data.draw(matrices(), label="mats")
+        g = data.draw(st.sampled_from([0.0, 1.0, 2.5, 7.0]), label="g")
+        l = data.draw(st.sampled_from([0.0, 1.0, 5.0]), label="l")
+        blocks = np.stack([work, send, recv])
+        fused = superstep_block_costs(blocks, g, l)
+        rows = superstep_row_costs(work, send, recv, g, l)
+        assert np.array_equal(fused, rows)
+
+    def test_step_cost_list_mirror_stays_in_sync(self):
+        engine = IncrementalCostEngine(
+            np.ones((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)), 1.0, 1.0
+        )
+        engine.apply_cells([(SEND, 1, 0, 3.0), (RECV, 4, 1, 2.0)])
+        assert engine.step_cost_list == engine.step_cost.tolist()
+        engine.undo()
+        assert engine.step_cost_list == engine.step_cost.tolist()
+
+    def test_capacity_growth_preserves_totals(self):
+        engine = IncrementalCostEngine(
+            np.ones((1, 2)), np.zeros((1, 2)), np.zeros((1, 2)), 2.0, 3.0
+        )
+        before = engine.total_cost
+        engine.ensure_capacity(25)
+        assert engine.S >= 26
+        assert engine.total_cost == before
+        assert engine.total_cost == pytest.approx(engine.recompute_total())

@@ -1,0 +1,105 @@
+"""Vectorized list schedulers match the reference loop, schedule for schedule.
+
+:func:`repro.baselines.list_schedulers.list_schedule` batches the EST inner
+loop into dense numpy tables; the policy semantics (selection keys, tie
+breaks, memory feasibility, failure behaviour) must be exactly those of the
+straight-line reference implementation
+(:func:`~repro.baselines.list_schedulers._list_schedule_reference`).  These
+tests compare the two on random DAGs and machines — uniform, NUMA and
+memory-bounded — and require identical processor assignments and start
+times, or the same :class:`~repro.scheduler.SchedulingError` outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.list_schedulers import _list_schedule_reference, list_schedule
+from repro.graphs.dag import ComputationalDAG
+from repro.model.machine import BspMachine
+from repro.scheduler import SchedulingError
+
+
+@st.composite
+def random_dags(draw, max_nodes: int = 14):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        num_parents = draw(st.integers(min_value=0, max_value=min(3, v)))
+        parents = draw(
+            st.lists(st.integers(min_value=0, max_value=v - 1),
+                     min_size=num_parents, max_size=num_parents, unique=True)
+        )
+        edges.extend((u, v) for u in parents)
+    work = draw(st.lists(st.integers(min_value=1, max_value=5), min_size=n, max_size=n))
+    comm = draw(st.lists(st.integers(min_value=0, max_value=4), min_size=n, max_size=n))
+    memory = draw(st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n))
+    return ComputationalDAG(n, edges, work, comm, memory=memory, name="hypothesis")
+
+
+@st.composite
+def machines(draw, dag):
+    P = draw(st.sampled_from([1, 2, 4]))
+    g = draw(st.sampled_from([0.0, 1.0, 3.0]))
+    latency = draw(st.sampled_from([0.0, 5.0]))
+    numa = None
+    if P >= 2 and draw(st.booleans()):
+        offsets = draw(
+            st.lists(st.sampled_from([0.0, 0.5, 2.0]), min_size=P * P, max_size=P * P)
+        )
+        numa = 1.0 + np.array(offsets, dtype=np.float64).reshape(P, P)
+        np.fill_diagonal(numa, 0.0)
+    bound = None
+    if draw(st.booleans()):
+        total = float(np.sum(dag.memory))
+        # From comfortably feasible down to likely-infeasible.
+        scale = draw(st.sampled_from([2.0, 1.0, 0.6, 0.3]))
+        bound = max(total / P * scale, 0.5)
+    return BspMachine(P=P, g=g, l=latency, numa=numa, memory_bound=bound)
+
+
+def _run(impl, dag, machine, policy, respect_memory, prefer_memory_balance):
+    try:
+        out = impl(
+            dag,
+            machine,
+            policy,
+            respect_memory=respect_memory,
+            prefer_memory_balance=prefer_memory_balance,
+        )
+        return out, None
+    except SchedulingError:
+        return None, SchedulingError
+
+
+class TestVectorizedMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_identical_schedules(self, data):
+        dag = data.draw(random_dags(), label="dag")
+        machine = data.draw(machines(dag), label="machine")
+        policy = data.draw(st.sampled_from(["bl-est", "etf"]), label="policy")
+        respect_memory = data.draw(st.booleans(), label="respect_memory")
+        prefer_memory_balance = data.draw(st.booleans(), label="prefer_memory_balance")
+
+        ref, ref_err = _run(
+            _list_schedule_reference, dag, machine, policy,
+            respect_memory, prefer_memory_balance,
+        )
+        vec, vec_err = _run(
+            list_schedule, dag, machine, policy,
+            respect_memory, prefer_memory_balance,
+        )
+        assert ref_err == vec_err
+        if ref_err is None:
+            assert np.array_equal(ref.proc, vec.proc)
+            assert np.array_equal(ref.start, vec.start)
+
+    def test_empty_dag(self):
+        dag = ComputationalDAG(0, [], [], [], name="empty")
+        machine = BspMachine(P=2, g=1, l=1)
+        for policy in ("bl-est", "etf"):
+            out = list_schedule(dag, machine, policy)
+            assert out.proc.size == 0 and out.start.size == 0
