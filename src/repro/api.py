@@ -34,7 +34,12 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, TextIO, Union
 
-from .experiments.runner import ParallelRunner, WorkItem, WorkItemResult
+from .experiments.runner import (
+    REQUEST_BUILD_FAILURES,
+    ParallelRunner,
+    WorkItem,
+    WorkItemResult,
+)
 from .registry import parse_scheduler_spec, scheduler_info
 from .spec import MachineSpec, ProblemSpec, SolveRequest, SolveResult, SpecError
 
@@ -45,6 +50,8 @@ __all__ = [
     "load_requests",
     "write_results",
     "reproduce",
+    "to_solve_result",
+    "broken_request_result",
 ]
 
 PathLike = Union[str, Path]
@@ -53,8 +60,14 @@ PathLike = Union[str, Path]
 # ----------------------------------------------------------------------
 # Request -> result
 # ----------------------------------------------------------------------
-def _to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
-    """Assemble the public result from an executed (or resumed) work item."""
+def to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
+    """Assemble the public result from an executed (or resumed) work item.
+
+    This is the single place a :class:`~repro.experiments.runner.WorkItemResult`
+    becomes a public :class:`~repro.spec.SolveResult`; the batch facade and
+    the :mod:`repro.serve` daemon share it so a served solve is bytewise the
+    result of the equivalent one-shot solve.
+    """
     info = scheduler_info(item.scheduler)
     # The registry flag describes the default configuration; an explicit
     # wall-clock cutoff in the spec (or a portfolio racing under a budget)
@@ -91,8 +104,13 @@ def _to_solve_result(item: WorkItem, result: WorkItemResult) -> SolveResult:
     )
 
 
-def _broken_request_result(request: SolveRequest, exc: Exception) -> SolveResult:
-    """Invalid result for a request that failed before it could execute."""
+def broken_request_result(request: SolveRequest, exc: Exception) -> SolveResult:
+    """Invalid result for a request that failed before it could execute.
+
+    Shared by tolerant batches and the :mod:`repro.serve` thin client, so a
+    request that cannot even be constructed is reported identically whether
+    it failed locally or on the daemon.
+    """
     dag = request.spec.dag
     return SolveResult(
         scheduler=request.scheduler,
@@ -121,7 +139,7 @@ def solve(request: SolveRequest) -> SolveResult:
     from .experiments.runner import execute_work_item
 
     item = WorkItem.from_request(request)
-    return _to_solve_result(item, execute_work_item(item))
+    return to_solve_result(item, execute_work_item(item))
 
 
 def solve_many(
@@ -152,14 +170,14 @@ def solve_many(
     for k, request in enumerate(requests):
         try:
             items.append(WorkItem.from_request(request, index=k, instance=k))
-        except (SpecError, ValueError, OSError) as exc:
+        except REQUEST_BUILD_FAILURES as exc:
             # Construction failures (unknown scheduler spec, bad generator
             # parameters, unreadable hyperDAG file) happen before the
             # tolerant runner is reached — fold them into invalid results
             # here so one malformed request cannot sink the batch.
             if not tolerant:
                 raise
-            broken[k] = _broken_request_result(request, exc)
+            broken[k] = broken_request_result(request, exc)
     checkpoint_path = str(checkpoint) if checkpoint is not None else None
     runner = ParallelRunner(
         jobs, checkpoint=checkpoint_path, resume=resume, tolerant=tolerant
@@ -189,7 +207,7 @@ def solve_many(
                 for result in redone:
                     writer.append(result.as_record())
     solved = {
-        item.index: _to_solve_result(item, result)
+        item.index: to_solve_result(item, result)
         for item, result in zip(items, results)
     }
     solved.update(broken)

@@ -1,6 +1,10 @@
 """Command-line interface: ``python -m repro``.
 
-Seven subcommands cover the workflows a downstream user needs most often:
+Ten subcommands cover the workflows a downstream user needs most often —
+one-shot solving (``schedule``, ``batch``), the persistent solve service
+(``serve``, ``submit``, ``cache-stats``), portfolio/registry introspection
+(``portfolio-explain``, ``list-schedulers``), and instance tooling
+(``repro``, ``generate``, ``info``):
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file, a generated instance, or
@@ -18,6 +22,24 @@ Seven subcommands cover the workflows a downstream user needs most often:
     whose scheduler fails yields an invalid result line instead of aborting
     the batch; a pass/fail summary goes to stderr and the exit status is
     nonzero when any request failed.
+
+``serve``
+    Run the persistent solve daemon (:mod:`repro.serve`): a line-delimited
+    JSON TCP service with a bounded request queue (``--queue-size``,
+    queue-full backpressure), a worker pool (``--jobs``), one shared warm
+    solution cache (``--cache-dir``), optional per-request timeouts
+    (``--timeout``), and a stats/health endpoint.  SIGTERM/SIGINT drain
+    in-flight requests before exit.
+
+``submit``
+    Solve a JSONL file of requests against a running daemon
+    (``--addr host:port``) through the thin client, streaming result lines
+    in request order; output and exit status mirror ``batch``.
+
+``cache-stats``
+    Telemetry of a solution cache directory (entries, bytes, shards, LRU
+    occupancy, per-session hit/miss counters) — or, with ``--addr``, the
+    live counters of a running daemon's shared cache.
 
 ``portfolio-explain``
     Show what the portfolio subsystem sees for an instance: the extracted
@@ -54,6 +76,10 @@ Examples::
     python -m repro portfolio-explain --kind cg --size 8 -P 8 --delta 3
     python -m repro list-schedulers
     python -m repro batch requests.jsonl --jobs 4 --out results.jsonl
+    python -m repro serve --port 7464 --jobs 4 --queue-size 128 --cache-dir .cache
+    python -m repro submit requests.jsonl --addr 127.0.0.1:7464 --out results.jsonl
+    python -m repro cache-stats --cache-dir .cache
+    python -m repro cache-stats --addr 127.0.0.1:7464
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
     python -m repro --version
@@ -269,6 +295,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_argument(p_batch)
 
+    # serve --------------------------------------------------------------
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent solve daemon (line-delimited JSON over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=7464,
+        help="TCP port to listen on (0 picks an ephemeral port; default: 7464)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads executing solve requests (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound of the request queue; a full queue answers queue-full "
+        "with a retry-after hint instead of buffering (default: 64)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request timeout (requests may override; "
+        "default: none)",
+    )
+    _add_cache_argument(p_serve)
+
+    # submit -------------------------------------------------------------
+    p_submit = sub.add_parser(
+        "submit",
+        help="solve a JSONL file of solve requests on a running solve daemon",
+    )
+    p_submit.add_argument("requests_file", help="JSONL file with one SolveRequest per line")
+    p_submit.add_argument(
+        "--addr",
+        default="127.0.0.1:7464",
+        metavar="HOST:PORT",
+        help="address of the solve daemon (default: 127.0.0.1:7464)",
+    )
+    p_submit.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write results to this JSONL file (default: stream to stdout)",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout enforced by the daemon (default: none)",
+    )
+    p_submit.add_argument(
+        "--timing",
+        action="store_true",
+        help="include wall-clock seconds in every result (non-deterministic output)",
+    )
+
+    # cache-stats --------------------------------------------------------
+    p_cache = sub.add_parser(
+        "cache-stats",
+        help="print solution-cache telemetry (a directory, or a live daemon)",
+    )
+    p_cache.add_argument(
+        "--addr",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running solve daemon instead of walking a directory",
+    )
+    _add_cache_argument(p_cache)
+
     # portfolio-explain --------------------------------------------------
     p_explain = sub.add_parser(
         "portfolio-explain",
@@ -396,34 +502,25 @@ def _command_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_batch(args: argparse.Namespace) -> int:
+def _load_request_file(path: str) -> list:
     from . import api
 
-    _apply_cache_dir(args)
     try:
-        requests = api.load_requests(args.requests_file)
+        requests = api.load_requests(path)
     except (OSError, SpecError) as exc:
         raise SystemExit(str(exc))
     if not requests:
-        raise SystemExit(f"no solve requests found in {args.requests_file!r}")
-    results = api.solve_many(
-        requests,
-        jobs=args.jobs,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        tolerant=True,
-    )
-    if args.out:
-        api.write_results(results, args.out, timing=args.timing)
-        print(
-            f"solved {len(results)} request(s); wrote {args.out}",
-            file=sys.stderr,
-        )
-    else:
-        api.write_results(results, sys.stdout, timing=args.timing)
-    # A request whose scheduler failed (or returned an invalid schedule)
-    # must be visible in the exit status: report a pass/fail summary and
-    # exit nonzero when anything failed, so scripted pipelines notice.
+        raise SystemExit(f"no solve requests found in {path!r}")
+    return requests
+
+
+def _batch_summary(results) -> int:
+    """Pass/fail summary to stderr; the shared exit status of batch/submit.
+
+    A request whose scheduler failed (or returned an invalid schedule) must
+    be visible in the exit status: report a summary and exit nonzero when
+    anything failed, so scripted pipelines notice.
+    """
     failed = [
         (k, result) for k, result in enumerate(results, start=1) if not result.valid
     ]
@@ -439,6 +536,152 @@ def _command_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if failed else 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from . import api
+
+    _apply_cache_dir(args)
+    requests = _load_request_file(args.requests_file)
+    results = api.solve_many(
+        requests,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        tolerant=True,
+    )
+    if args.out:
+        api.write_results(results, args.out, timing=args.timing)
+        print(
+            f"solved {len(results)} request(s); wrote {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        api.write_results(results, sys.stdout, timing=args.timing)
+    return _batch_summary(results)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve.server import ServeConfig, SolveServer
+
+    # --cache-dir is both the daemon's shared cache and the process default,
+    # so portfolio requests solved by the workers warm the same directory.
+    _apply_cache_dir(args)
+    server = SolveServer(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            queue_size=args.queue_size,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+        )
+    )
+    try:
+        host, port = server.start()
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+    cache = str(server.cache.root) if server.cache is not None else "disabled"
+    print(
+        f"repro solve daemon listening on {host}:{port} "
+        f"(workers={server.pool.jobs}, queue-size={server.pool.queue_size}, cache={cache})",
+        flush=True,
+    )
+    server.run_forever()
+    stats = server.stats()
+    requests = stats["requests"]
+    print(
+        f"drained and stopped: served {requests['served']} request(s), "
+        f"{requests['cache_hits']} cache hit(s), uptime {stats['uptime_s']}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .serve.client import ServeError, connect
+
+    requests = _load_request_file(args.requests_file)
+    try:
+        client = connect(args.addr)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+
+    # Stream result lines in request order as they arrive: results are
+    # buffered only while an earlier request is still in flight.
+    handle = open(args.out, "w") if args.out else sys.stdout
+    buffered: dict = {}
+    cursor = [0]
+
+    def emit(index: int, result) -> None:
+        buffered[index] = result
+        while cursor[0] in buffered:
+            handle.write(buffered.pop(cursor[0]).to_json(timing=args.timing) + "\n")
+            handle.flush()
+            cursor[0] += 1
+
+    try:
+        results = client.solve_many(
+            requests, timeout=args.timeout, tolerant=True, on_result=emit
+        )
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    finally:
+        client.close()
+        if args.out:
+            handle.close()
+    if args.out:
+        print(
+            f"solved {len(results)} request(s); wrote {args.out}",
+            file=sys.stderr,
+        )
+    return _batch_summary(results)
+
+
+def _command_cache_stats(args: argparse.Namespace) -> int:
+    if args.addr:
+        from .serve.client import ServeError, connect
+
+        try:
+            with connect(args.addr) as client:
+                stats = client.stats(disk=True)
+        except ServeError as exc:
+            raise SystemExit(str(exc))
+        cache = stats.get("cache")
+        if not cache:
+            print(f"daemon at {args.addr}: cache disabled")
+            return 0
+        print(f"solution cache of the daemon at {args.addr} (uptime {stats['uptime_s']}s):")
+    else:
+        from .portfolio.cache import SolutionCache, default_cache_dir
+
+        root = args.cache_dir or default_cache_dir()
+        if not root:
+            raise SystemExit(
+                "no cache directory: pass --cache-dir, set REPRO_CACHE_DIR, "
+                "or query a running daemon with --addr"
+            )
+        solution_cache = SolutionCache(root)
+        cache = {"dir": str(solution_cache.root)}
+        cache.update(solution_cache.disk_stats())
+        cache.update(solution_cache.stats())
+        print("solution cache telemetry:")
+    order = (
+        "dir",
+        "entries",
+        "bytes",
+        "shards",
+        "lru_entries",
+        "lru_capacity",
+        "hits",
+        "misses",
+        "stores",
+    )
+    keys = [k for k in order if k in cache] + sorted(set(cache) - set(order))
+    width = max(len(k) for k in keys)
+    for key in keys:
+        print(f"  {key.ljust(width)} : {cache[key]}")
+    return 0
 
 
 def _command_repro(args: argparse.Namespace) -> int:
@@ -563,6 +806,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_schedule(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "cache-stats":
+        return _command_cache_stats(args)
     if args.command == "portfolio-explain":
         return _command_portfolio_explain(args)
     if args.command == "list-schedulers":

@@ -54,6 +54,8 @@ from .report import geometric_mean
 __all__ = [
     "InstanceResult",
     "ExperimentResult",
+    "REQUEST_BUILD_FAILURES",
+    "WORK_ITEM_FAILURES",
     "WorkItem",
     "WorkItemResult",
     "ParallelRunner",
@@ -76,6 +78,18 @@ STAGE_LABELS = ("Init", "HCcs", "ILP")
 #: registry name).
 PIPELINE_ITEM = "pipeline"
 MULTILEVEL_ITEM = "multilevel-sweep"
+
+#: Exceptions that mean "this request could not even be *built*" (unknown
+#: scheduler spec, bad generator parameters, unreadable hyperDAG file;
+#: :class:`~repro.spec.SpecError` is a ``ValueError``).  Tolerant surfaces —
+#: ``repro batch``, the serve daemon — map these to structured invalid-spec
+#: outcomes instead of crashing the batch/worker.
+REQUEST_BUILD_FAILURES = (ValueError, OSError)
+
+#: Exceptions that mean "the scheduler ran and failed" on an executing work
+#: item; :func:`execute_work_item_tolerant` converts exactly these into
+#: invalid results.  Anything else is a bug and propagates.
+WORK_ITEM_FAILURES = (SchedulingError, ScheduleValidationError, ValueError)
 
 
 # ----------------------------------------------------------------------
@@ -417,7 +431,7 @@ def execute_work_item_tolerant(item: WorkItem) -> WorkItemResult:
     start = time.perf_counter()
     try:
         return execute_work_item(item)
-    except (SchedulingError, ScheduleValidationError, ValueError) as exc:
+    except WORK_ITEM_FAILURES as exc:
         label = item.label if item.label is not None else item.scheduler
         return WorkItemResult(
             index=item.index,

@@ -252,8 +252,48 @@ class SolutionCache:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store counters of this process."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        """Hit/miss/store counters of this process, plus the LRU occupancy.
+
+        This is the per-session telemetry surfaced by ``repro cache-stats``
+        and the serve daemon's ``stats`` endpoint; on-disk totals are the
+        separate (directory-walking) :meth:`disk_stats`.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "lru_entries": len(self._lru),
+            "lru_capacity": self.max_memory_entries,
+        }
+
+    def disk_stats(self) -> Dict[str, int]:
+        """On-disk totals: entry count, payload bytes, shard directories.
+
+        Walks the cache root (missing root: all zeros).  In-flight temp
+        files of concurrent writers (``.tmp-*``) are not counted — only
+        fully committed entries.
+        """
+        entries = 0
+        total_bytes = 0
+        shards = 0
+        try:
+            shard_dirs = [p for p in self.root.iterdir() if p.is_dir()]
+        except OSError:
+            shard_dirs = []
+        for shard in shard_dirs:
+            shards += 1
+            try:
+                for path in shard.iterdir():
+                    if path.name.startswith(".tmp-") or path.suffix != ".json":
+                        continue
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue  # concurrently evicted/replaced
+                    entries += 1
+            except OSError:
+                continue
+        return {"entries": entries, "bytes": total_bytes, "shards": shards}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SolutionCache(root={str(self.root)!r}, {self.stats()})"

@@ -1,0 +1,368 @@
+"""Thin client of the solve daemon: connect / solve / solve_many / stats.
+
+The client owns one TCP connection (re-established transparently after
+transient failures) and speaks :mod:`repro.serve.protocol`:
+
+* :func:`connect` dials with retry-with-backoff and verifies the server
+  answers ``health`` before returning a usable client;
+* :meth:`ServiceClient.solve` submits one request and blocks for its result;
+  ``queue-full`` backpressure responses are retried after the server's
+  ``retry_after`` hint, other structured errors raise :class:`ServeError`
+  with the error code attached;
+* :meth:`ServiceClient.solve_many` pipelines a whole batch over the one
+  connection — the daemon fans the requests out over its worker pool, the
+  client reassembles results *in request order*, retrying only the requests
+  that were refused with ``queue-full``.  With ``tolerant=True`` failed
+  requests yield ``valid=False`` results exactly like ``repro.api.solve_many
+  (tolerant=True)``, so ``repro submit`` output matches ``repro batch``
+  output bytewise.
+
+Usage::
+
+    from repro.serve import connect
+
+    with connect("127.0.0.1:7464") as client:
+        result = client.solve(request)
+        results = client.solve_many(requests)
+        print(client.stats()["latency"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..spec import SolveRequest, SolveResult
+from . import protocol
+
+__all__ = ["ServeError", "ServiceUnavailable", "ServiceClient", "connect", "parse_address"]
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the solve service.
+
+    ``code`` is one of :data:`repro.serve.protocol.ERROR_CODES`;
+    ``retry_after`` is the server's backoff hint (queue-full responses);
+    ``result`` is the embedded invalid result dict, when the server attached
+    one (scheduler failures).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.result = result
+
+    @classmethod
+    def from_response(cls, response: Dict[str, Any]) -> "ServeError":
+        error = response.get("error") or {}
+        return cls(
+            error.get("code", protocol.E_INTERNAL),
+            error.get("message", "unknown error"),
+            retry_after=error.get("retry_after"),
+            result=error.get("result"),
+        )
+
+
+class ServiceUnavailable(ServeError):
+    """The service could not be reached (after the configured retries)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(protocol.E_SHUTTING_DOWN, message)
+
+
+AddressLike = Union[str, Tuple[str, int]]
+
+
+def parse_address(addr: AddressLike) -> Tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``(host, port)`` -> ``(host, port)``."""
+    if isinstance(addr, tuple):
+        host, port = addr
+        return str(host) or "127.0.0.1", int(port)
+    text = str(addr).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"bad service address {addr!r}; expected 'host:port'") from None
+
+
+class ServiceClient:
+    """One connection to a solve daemon, with transparent reconnect.
+
+    Not thread-safe: share a daemon between threads by giving each thread
+    its own client (connections are cheap; the daemon multiplexes).
+    """
+
+    def __init__(
+        self,
+        addr: AddressLike,
+        *,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        socket_timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host, self.port = parse_address(addr)
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self.socket_timeout = socket_timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=10.0)
+                sock.settimeout(self.socket_timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sock = sock
+                self._rfile = sock.makefile("rb")
+                return
+            except OSError as exc:
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self._sleep_for(attempt))
+        raise ServiceUnavailable(
+            f"cannot reach solve service at {self.host}:{self.port} "
+            f"after {self.retries + 1} attempts: {last}"
+        )
+
+    def _sleep_for(self, attempt: int) -> float:
+        return min(self.max_backoff, self.backoff * (2.0 ** attempt))
+
+    def _reset(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._reset()
+
+    def __enter__(self) -> "ServiceClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Raw messaging
+    # ------------------------------------------------------------------
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        assert self._sock is not None
+        self._sock.sendall(protocol.encode(message))
+
+    def _recv(self) -> Dict[str, Any]:
+        assert self._rfile is not None
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("solve service closed the connection")
+        return protocol.decode(line)
+
+    def _call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip, reconnecting on transport faults.
+
+        Only resent while the *send* has provably not been processed: a
+        failure to write (or a connection refused) is always safe to retry;
+        a failure while *reading* the response is only retried for ops that
+        are idempotent anyway (everything except solve is; solve callers
+        handle retry at their level, where request semantics are known).
+        """
+        for attempt in range(self.retries + 1):
+            self._connect()
+            try:
+                self._send(message)
+            except OSError:
+                self._reset()
+                if attempt < self.retries:
+                    time.sleep(self._sleep_for(attempt))
+                    continue
+                raise ServiceUnavailable(
+                    f"lost connection to {self.host}:{self.port} while sending"
+                )
+            try:
+                return self._recv()
+            except (OSError, protocol.ProtocolError, ConnectionError) as exc:
+                self._reset()
+                raise ServiceUnavailable(
+                    f"lost connection to {self.host}:{self.port} while waiting: {exc}"
+                )
+        raise ServiceUnavailable(f"cannot reach {self.host}:{self.port}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(
+        self, request: SolveRequest, *, timeout: Optional[float] = None
+    ) -> SolveResult:
+        """Solve one request on the daemon; returns its :class:`SolveResult`.
+
+        ``queue-full`` responses are retried with the server's backoff hint
+        (the request was never accepted, so a retry is always safe); every
+        other structured error raises :class:`ServeError` with ``.code`` set.
+        """
+        payload = request.to_dict()
+        for attempt in range(self.retries + 1):
+            response = self._call(
+                protocol.solve_message(payload, id=self._fresh_id(), timeout=timeout)
+            )
+            if response.get("ok"):
+                return SolveResult.from_dict(response["result"])
+            error = ServeError.from_response(response)
+            if error.code in protocol.RETRYABLE_CODES and attempt < self.retries:
+                time.sleep(error.retry_after or self._sleep_for(attempt))
+                continue
+            raise error
+        raise error  # pragma: no cover - loop always returns or raises
+
+    def solve_many(
+        self,
+        requests: Sequence[SolveRequest],
+        *,
+        timeout: Optional[float] = None,
+        tolerant: bool = False,
+        on_result: Optional[Callable[[int, SolveResult], None]] = None,
+    ) -> List[SolveResult]:
+        """Pipeline a batch over one connection; results in request order.
+
+        All requests are written back-to-back, so the daemon's worker pool
+        executes them concurrently; responses arrive in completion order and
+        are reassembled by id.  Requests bounced with ``queue-full`` are
+        resubmitted in waves after the server's ``retry_after`` hint (never
+        re-running anything the server accepted).  ``on_result`` fires once
+        per request, with its batch index, as each result arrives — callers
+        can stream output without waiting for the slowest request.
+
+        With ``tolerant=False`` the first failed request raises its
+        :class:`ServeError`; with ``tolerant=True`` failures become
+        ``valid=False`` results, mirroring ``api.solve_many(tolerant=True)``.
+        """
+        from ..api import broken_request_result
+
+        results: Dict[int, SolveResult] = {}
+        pending = list(enumerate(requests))
+        self._connect()
+        wave = 0
+        while pending:
+            id_to_index = {}
+            try:
+                for index, request in pending:
+                    rid = self._fresh_id()
+                    id_to_index[rid] = index
+                    self._send(
+                        protocol.solve_message(request.to_dict(), id=rid, timeout=timeout)
+                    )
+            except OSError as exc:
+                self._reset()
+                raise ServiceUnavailable(
+                    f"lost connection to {self.host}:{self.port} mid-batch: {exc}"
+                )
+            retry = []
+            retry_after = 0.0
+            while id_to_index:
+                try:
+                    response = self._recv()
+                except (OSError, ConnectionError, protocol.ProtocolError) as exc:
+                    self._reset()
+                    raise ServiceUnavailable(
+                        f"lost connection to {self.host}:{self.port} mid-batch: {exc}"
+                    )
+                index = id_to_index.pop(response.get("id"), None)
+                if index is None:
+                    continue  # stale response from an abandoned wave
+                if response.get("ok"):
+                    result = SolveResult.from_dict(response["result"])
+                elif (
+                    response["error"].get("code") in protocol.RETRYABLE_CODES
+                    and wave < self.retries
+                ):
+                    error = ServeError.from_response(response)
+                    retry_after = max(retry_after, error.retry_after or 0.0)
+                    retry.append((index, requests[index]))
+                    continue
+                else:
+                    error = ServeError.from_response(response)
+                    if not tolerant:
+                        self._reset()  # unread pipelined responses: start clean
+                        raise error
+                    if error.result is not None:
+                        result = SolveResult.from_dict(error.result)
+                    else:
+                        result = broken_request_result(requests[index], error)
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+            pending = retry
+            if pending:
+                wave += 1
+                time.sleep(retry_after or self._sleep_for(wave))
+        return [results[k] for k in range(len(requests))]
+
+    def stats(self, *, disk: bool = False) -> Dict[str, Any]:
+        """The daemon's stats snapshot (``disk=True`` adds on-disk cache totals)."""
+        return self._data(protocol.stats_message(id=self._fresh_id(), disk=disk))
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health blurb (status, protocol, uptime)."""
+        return self._data(protocol.health_message(id=self._fresh_id()))
+
+    def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
+        """Ask the daemon to shut down; returns once the drain completed."""
+        try:
+            return self._data(protocol.shutdown_message(id=self._fresh_id(), drain=drain))
+        finally:
+            self._reset()
+
+    def _data(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        response = self._call(message)
+        if not response.get("ok"):
+            raise ServeError.from_response(response)
+        return response.get("data", {})
+
+
+def connect(
+    addr: AddressLike,
+    *,
+    retries: int = 5,
+    backoff: float = 0.05,
+    socket_timeout: Optional[float] = 300.0,
+) -> ServiceClient:
+    """Dial a solve daemon (with backoff) and verify it answers ``health``."""
+    client = ServiceClient(
+        addr, retries=retries, backoff=backoff, socket_timeout=socket_timeout
+    )
+    client.health()
+    return client

@@ -1,0 +1,435 @@
+"""Bounded request queue + worker pool of the solve daemon.
+
+The pool is the execution half of :mod:`repro.serve.server`:
+
+* a bounded :class:`queue.Queue` gives the daemon *explicit backpressure* —
+  when it is full, :meth:`WorkerPool.submit` reports ``"full"`` and the
+  server answers ``queue-full`` with a ``retry_after`` hint instead of
+  buffering unbounded work;
+* worker threads execute :class:`~repro.experiments.runner.WorkItem`\\ s via
+  the same :func:`~repro.experiments.runner.execute_work_item_tolerant`
+  machinery the batch facade uses, so a daemon solve is bytewise the same
+  computation as ``repro.api.solve``;
+* one shared :class:`~repro.portfolio.cache.SolutionCache` (disk + in-process
+  LRU) is consulted before and populated after every deterministic solve, so
+  repeated traffic across *all* clients is served warm;
+* per-request deadlines are enforced by a monitor thread: a request that
+  times out gets a structured ``timeout`` error exactly once — if the
+  underlying scheduler is still running its result is discarded (but still
+  stored in the cache, warming future requests).
+
+Threads (not processes) are the right pool here: the numpy kernels release
+the GIL for the heavy parts, every worker shares one warm LRU, and tickets
+carry live socket callbacks that cannot cross a process boundary.  A client
+needing process-level parallelism for one huge batch can submit through
+several connections or run ``repro batch --jobs N`` against the same cache
+directory.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..api import broken_request_result, to_solve_result
+from ..experiments.runner import (
+    REQUEST_BUILD_FAILURES,
+    WorkItem,
+    execute_work_item_tolerant,
+)
+from ..portfolio.cache import SolutionCache
+from ..spec import SolveRequest
+from . import protocol
+
+__all__ = ["Ticket", "WorkerPool"]
+
+
+def percentiles(
+    values: List[float], points: Sequence[float] = (50.0, 90.0, 99.0)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of ``values`` (empty input -> zeros)."""
+    out: Dict[str, float] = {}
+    ordered = sorted(values)
+    for point in points:
+        key = f"p{point:g}"
+        if not ordered:
+            out[key] = 0.0
+        else:
+            rank = max(0, min(len(ordered) - 1, int(round(point / 100.0 * len(ordered))) - 1))
+            out[key] = ordered[rank]
+    return out
+
+
+class Ticket:
+    """One in-flight solve request with answer-exactly-once semantics.
+
+    The ticket owns the response channel (a callable writing one message to
+    the requesting connection).  :meth:`respond` delivers at most one
+    response no matter how many parties race to answer — the worker thread
+    finishing the solve, the deadline monitor timing it out, or the drain
+    path refusing it — so a request can never be answered twice, and never
+    silently dropped as long as one of them calls :meth:`respond`.
+    """
+
+    __slots__ = ("request", "rid", "deadline", "enqueued", "done", "_send", "_lock", "_answered")
+
+    def __init__(
+        self,
+        request: SolveRequest,
+        *,
+        rid: Any,
+        send: Callable[[Dict[str, Any]], None],
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.request = request
+        self.rid = rid
+        self._send = send
+        self.deadline = deadline
+        self.enqueued = time.monotonic()
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+        self._answered = False
+
+    @property
+    def answered(self) -> bool:
+        return self._answered
+
+    def respond(self, message: Dict[str, Any]) -> bool:
+        """Deliver ``message`` unless the ticket was already answered."""
+        with self._lock:
+            if self._answered:
+                return False
+            self._answered = True
+        try:
+            self._send(message)
+        finally:
+            self.done.set()
+        return True
+
+
+class WorkerPool:
+    """Fixed worker threads draining one bounded ticket queue.
+
+    All mutable counters are guarded by one lock; the public snapshot is
+    :meth:`stats`.  Lifecycle: :meth:`start` -> ``submit`` xN ->
+    :meth:`drain` (finish everything queued, then stop) or
+    :meth:`stop` (refuse queued tickets with ``shutting-down``).
+    """
+
+    #: How often the deadline monitor scans in-flight tickets (seconds).
+    MONITOR_INTERVAL = 0.02
+    #: Latency window backing the stats percentiles.
+    LATENCY_WINDOW = 2048
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        queue_size: int = 64,
+        *,
+        cache: Optional[SolutionCache] = None,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.queue_size = max(1, int(queue_size))
+        self.cache = cache
+        self.default_timeout = default_timeout
+        self._queue: "queue.Queue[Optional[Ticket]]" = queue.Queue(maxsize=self.queue_size)
+        self._threads: List[threading.Thread] = []
+        self._monitor: Optional[threading.Thread] = None
+        self._accepting = False
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        self._watched: List[Ticket] = []
+        self._in_flight = 0
+        self.counters: Dict[str, int] = {
+            "received": 0,
+            "served": 0,
+            "cache_hits": 0,
+            "abandoned": 0,
+        }
+        self.error_counters: Dict[str, int] = {code: 0 for code in protocol.ERROR_CODES}
+        self._latencies: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._accepting = True
+        self._stopped.clear()
+        for k in range(self.jobs):
+            thread = threading.Thread(target=self._worker, name=f"repro-serve-worker-{k}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._monitor = threading.Thread(target=self._monitor_deadlines, name="repro-serve-deadline", daemon=True)
+        self._monitor.start()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting, finish every queued/in-flight ticket, stop workers.
+
+        The stop sentinels are enqueued *behind* all pending tickets, so
+        every request accepted before the drain began is answered before the
+        workers exit — the graceful-shutdown contract of the daemon.
+        """
+        self._accepting = False
+        if not self._threads:
+            return
+        for _ in self._threads:
+            self._queue.put(None)  # blocks while full; space frees as workers drain
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        self._finish_stop()
+
+    def stop(self) -> None:
+        """Hard stop: refuse queued tickets with ``shutting-down``, then exit."""
+        self._accepting = False
+        if not self._threads:
+            return
+        refused: List[Ticket] = []
+        try:
+            while True:
+                ticket = self._queue.get_nowait()
+                if ticket is not None:
+                    refused.append(ticket)
+        except queue.Empty:
+            pass
+        for ticket in refused:
+            self._refuse(ticket, protocol.E_SHUTTING_DOWN, "server is shutting down")
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._finish_stop()
+
+    def _finish_stop(self) -> None:
+        self._stopped.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=1.0)
+            self._monitor = None
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # Submission / backpressure
+    # ------------------------------------------------------------------
+    def submit(self, ticket: Ticket) -> str:
+        """Enqueue a ticket: ``"ok"``, ``"full"`` (backpressure) or ``"stopped"``."""
+        if not self._accepting:
+            return "stopped"
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            return "full"
+        with self._lock:
+            self.counters["received"] += 1
+            if ticket.deadline is not None:
+                self._watched.append(ticket)
+        return "ok"
+
+    def note_error(self, code: str) -> None:
+        """Count a structured error answered outside the worker path.
+
+        The server's dispatch layer refuses some requests before they ever
+        become tickets (queue-full backpressure, shutting-down); counting
+        them here keeps ``stats()["errors"]`` the one complete error ledger.
+        """
+        with self._lock:
+            self.error_counters[code] += 1
+
+    def retry_after(self) -> float:
+        """Suggested client backoff when the queue is full.
+
+        Rough model: the queue drains one request per worker per mean
+        latency, so a full queue clears in about ``mean * depth / jobs``
+        seconds.  Clamped to [0.05, 5] so a cold daemon (no latency samples
+        yet) still returns a sane hint.
+        """
+        with self._lock:
+            depth = self._queue.qsize()
+            recent = self._latencies[-64:]
+        mean = (sum(recent) / len(recent)) if recent else 0.1
+        return min(5.0, max(0.05, mean * max(1, depth) / self.jobs))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of queue depth, counters and latency percentiles."""
+        with self._lock:
+            latencies = list(self._latencies)
+            counters = dict(self.counters)
+            errors = {code: n for code, n in self.error_counters.items() if n}
+            in_flight = self._in_flight
+        stats: Dict[str, Any] = {
+            "workers": self.jobs,
+            "queue_size": self.queue_size,
+            "queue_depth": self._queue.qsize(),
+            "in_flight": in_flight,
+            "requests": counters,
+            "errors": errors,
+        }
+        latency: Dict[str, float] = {
+            f"{key}_ms": round(value * 1000.0, 3)
+            for key, value in percentiles(latencies).items()
+        }
+        latency["mean_ms"] = round(
+            (sum(latencies) / len(latencies) * 1000.0) if latencies else 0.0, 3
+        )
+        latency["count"] = len(latencies)
+        stats["latency"] = latency
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is None:
+                return
+            if ticket.answered:  # timed out (or refused) while queued
+                with self._lock:
+                    self.counters["abandoned"] += 1
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                response, cache_hit = self._solve(ticket.request, ticket.rid)
+            except Exception as exc:  # a bug must answer, not kill the worker
+                response, cache_hit = (
+                    protocol.error_response(
+                        ticket.rid, protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    ),
+                    False,
+                )
+            # Count BEFORE delivering: a client that just read its response
+            # must see it reflected in the very next stats snapshot.  If the
+            # deadline monitor won the respond race, move the count over to
+            # "abandoned" after the fact (the client saw a timeout error).
+            ok = bool(response.get("ok"))
+            with self._lock:
+                self._in_flight -= 1
+                self._forget(ticket)
+                if ok:
+                    self.counters["served"] += 1
+                    if cache_hit:
+                        self.counters["cache_hits"] += 1
+                    self._latencies.append(time.monotonic() - ticket.enqueued)
+                    del self._latencies[: -self.LATENCY_WINDOW]
+                else:
+                    self.error_counters[response["error"]["code"]] += 1
+            if not ticket.respond(response):
+                with self._lock:
+                    self.counters["abandoned"] += 1
+                    if ok:
+                        self.counters["served"] -= 1
+                        if cache_hit:
+                            self.counters["cache_hits"] -= 1
+                    else:
+                        self.error_counters[response["error"]["code"]] -= 1
+
+    def _solve(self, request: SolveRequest, rid: Any) -> Tuple[Dict[str, Any], bool]:
+        """Execute one request against the shared cache; returns (response, hit)."""
+        try:
+            item = WorkItem.from_request(request, keep_schedule=True)
+        except REQUEST_BUILD_FAILURES as exc:
+            return (
+                protocol.error_response(
+                    rid,
+                    protocol.E_INVALID_SPEC,
+                    str(exc),
+                    result=broken_request_result(request, exc).to_dict(),
+                ),
+                False,
+            )
+        signature: Optional[str] = None
+        if self.cache is not None:
+            from ..portfolio.features import instance_signature
+
+            # Seed and time budget are already folded into the canonical
+            # spec string by WorkItem.from_request, so the cache key's seed
+            # slot stays empty — two requests with the same canonical spec
+            # are the same computation.
+            signature = instance_signature(item.dag, item.machine)
+            entry = self.cache.get(signature, item.scheduler, None)
+            if entry is not None and entry.result is not None:
+                return protocol.result_response(rid, entry.result.to_dict(), cached=True), True
+        outcome = execute_work_item_tolerant(item)
+        result = to_solve_result(item, outcome)
+        if not outcome.valid:
+            return (
+                protocol.error_response(
+                    rid, protocol.E_SCHEDULER, outcome.error, result=result.to_dict()
+                ),
+                False,
+            )
+        if (
+            self.cache is not None
+            and signature is not None
+            and result.deterministic
+            and outcome.schedule is not None
+        ):
+            self.cache.put(
+                signature,
+                item.scheduler,
+                None,
+                result,
+                outcome.schedule,
+                chosen=item.scheduler,
+            )
+        return protocol.result_response(rid, result.to_dict(), cached=False), False
+
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def _monitor_deadlines(self) -> None:
+        while not self._stopped.wait(self.MONITOR_INTERVAL):
+            now = time.monotonic()
+            with self._lock:
+                expired = [
+                    t for t in self._watched if t.deadline is not None and now >= t.deadline
+                ]
+                self._watched = [t for t in self._watched if t not in expired and not t.answered]
+            for ticket in expired:
+                waited = now - ticket.enqueued
+                # Count BEFORE delivering (mirror of the worker path): a
+                # client reading stats right after its timeout error must
+                # see it counted.  Undo if the worker answered first.
+                with self._lock:
+                    self.error_counters[protocol.E_TIMEOUT] += 1
+                if not ticket.respond(
+                    protocol.error_response(
+                        ticket.rid,
+                        protocol.E_TIMEOUT,
+                        f"request timed out after {waited:.3f}s",
+                    )
+                ):
+                    with self._lock:
+                        self.error_counters[protocol.E_TIMEOUT] -= 1
+
+    def _forget(self, ticket: Ticket) -> None:
+        """Drop a finished ticket from the deadline watch list (lock held)."""
+        if ticket.deadline is not None:
+            try:
+                self._watched.remove(ticket)
+            except ValueError:
+                pass
+
+    def _refuse(self, ticket: Ticket, code: str, message: str) -> None:
+        if ticket.respond(protocol.error_response(ticket.rid, code, message)):
+            with self._lock:
+                self.error_counters[code] += 1
+                self._forget(ticket)

@@ -1,0 +1,220 @@
+"""Wire format of the solve service: line-delimited JSON over a stream.
+
+One message is one JSON object on one ``\\n``-terminated line (NDJSON), in
+both directions.  A client may pipeline any number of requests on one
+connection; the server answers each request exactly once, tagged with the
+request's ``id``, in *completion* order (not necessarily submission order).
+Every failure is a structured error response — the server never answers a
+well-formed line by dropping the connection.
+
+Requests (client -> server)::
+
+    {"op": "solve",    "id": 7, "request": {<SolveRequest.to_dict()>}, "timeout": 30.0}
+    {"op": "stats",    "id": 8, "disk": false}
+    {"op": "health",   "id": 9}
+    {"op": "shutdown", "id": 10, "drain": true}
+
+Responses (server -> client)::
+
+    {"id": 7, "ok": true,  "op": "solve", "cached": false, "result": {<SolveResult.to_dict()>}}
+    {"id": 8, "ok": true,  "op": "stats", "data": {...}}
+    {"id": 7, "ok": false, "error": {"code": "queue-full", "message": "...", "retry_after": 0.2}}
+
+Error codes (the ``error.code`` field):
+
+================== ==========================================================
+``invalid-request`` the line is not valid JSON / not a known message shape
+``invalid-spec``    the embedded :class:`~repro.spec.SolveRequest` cannot be
+                    built (malformed spec, unknown scheduler, bad parameters)
+``scheduler-error`` the scheduler ran and failed (raised, or produced an
+                    invalid schedule); ``error.result`` carries the invalid
+                    :class:`~repro.spec.SolveResult` the tolerant batch
+                    surface would have reported
+``queue-full``      backpressure: the bounded request queue is full;
+                    ``error.retry_after`` suggests how long to back off
+``timeout``         the per-request deadline passed before a result was ready
+``shutting-down``   the server is draining and accepts no new work
+``internal-error``  unexpected server-side failure (a bug, not a bad request)
+================== ==========================================================
+
+``queue-full`` is the only *retryable-by-design* code: the request was never
+accepted, so resubmitting it is always safe, even for non-deterministic
+schedulers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "PROTOCOL",
+    "OP_SOLVE",
+    "OP_STATS",
+    "OP_HEALTH",
+    "OP_SHUTDOWN",
+    "OPS",
+    "E_INVALID_REQUEST",
+    "E_INVALID_SPEC",
+    "E_SCHEDULER",
+    "E_QUEUE_FULL",
+    "E_TIMEOUT",
+    "E_SHUTTING_DOWN",
+    "E_INTERNAL",
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "read_messages",
+    "solve_message",
+    "stats_message",
+    "health_message",
+    "shutdown_message",
+    "result_response",
+    "data_response",
+    "error_response",
+]
+
+#: Protocol identifier, reported by the ``health`` endpoint.  Bump on any
+#: incompatible change to the message shapes below.
+PROTOCOL = "repro-serve/1"
+
+#: Refuse to buffer unbounded garbage from a misbehaving peer: one message
+#: line may not exceed this many bytes (inline DAG specs are the only large
+#: payloads; 64 MiB is orders of magnitude above any realistic instance).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OP_SOLVE = "solve"
+OP_STATS = "stats"
+OP_HEALTH = "health"
+OP_SHUTDOWN = "shutdown"
+OPS = (OP_SOLVE, OP_STATS, OP_HEALTH, OP_SHUTDOWN)
+
+E_INVALID_REQUEST = "invalid-request"
+E_INVALID_SPEC = "invalid-spec"
+E_SCHEDULER = "scheduler-error"
+E_QUEUE_FULL = "queue-full"
+E_TIMEOUT = "timeout"
+E_SHUTTING_DOWN = "shutting-down"
+E_INTERNAL = "internal-error"
+ERROR_CODES = (
+    E_INVALID_REQUEST,
+    E_INVALID_SPEC,
+    E_SCHEDULER,
+    E_QUEUE_FULL,
+    E_TIMEOUT,
+    E_SHUTTING_DOWN,
+    E_INTERNAL,
+)
+
+#: Codes a client may retry verbatim without changing semantics.
+RETRYABLE_CODES = frozenset({E_QUEUE_FULL})
+
+
+class ProtocolError(ValueError):
+    """Raised for a line that is not a valid protocol message."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message as a ``\\n``-terminated JSON line (sorted keys, compact)."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one line into a message dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from exc
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def read_messages(stream) -> Iterator[Dict[str, Any]]:
+    """Messages from a binary line stream, until EOF.
+
+    Malformed lines raise :class:`ProtocolError` — callers decide whether to
+    answer with an ``invalid-request`` error (the server) or to treat it as
+    a broken peer (the client).
+    """
+    for raw in stream:
+        yield decode(raw)
+
+
+# ----------------------------------------------------------------------
+# Request constructors (client side)
+# ----------------------------------------------------------------------
+def solve_message(
+    request_dict: Dict[str, Any],
+    *,
+    id: Any,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A ``solve`` request; ``request_dict`` is ``SolveRequest.to_dict()``."""
+    message: Dict[str, Any] = {"op": OP_SOLVE, "id": id, "request": request_dict}
+    if timeout is not None:
+        message["timeout"] = float(timeout)
+    return message
+
+
+def stats_message(*, id: Any, disk: bool = False) -> Dict[str, Any]:
+    """A ``stats`` request; ``disk=True`` also walks the cache directory."""
+    return {"op": OP_STATS, "id": id, "disk": bool(disk)}
+
+
+def health_message(*, id: Any) -> Dict[str, Any]:
+    return {"op": OP_HEALTH, "id": id}
+
+
+def shutdown_message(*, id: Any, drain: bool = True) -> Dict[str, Any]:
+    return {"op": OP_SHUTDOWN, "id": id, "drain": bool(drain)}
+
+
+# ----------------------------------------------------------------------
+# Response constructors (server side)
+# ----------------------------------------------------------------------
+def result_response(
+    id: Any, result_dict: Dict[str, Any], *, cached: bool = False
+) -> Dict[str, Any]:
+    """Successful ``solve`` response carrying a ``SolveResult.to_dict()``."""
+    return {"id": id, "ok": True, "op": OP_SOLVE, "cached": bool(cached), "result": result_dict}
+
+
+def data_response(id: Any, op: str, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Successful response of a non-solve op (``stats``/``health``/``shutdown``)."""
+    return {"id": id, "ok": True, "op": op, "data": data}
+
+
+def error_response(
+    id: Any,
+    code: str,
+    message: str,
+    *,
+    retry_after: Optional[float] = None,
+    result: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Structured error response; ``code`` is one of :data:`ERROR_CODES`."""
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = float(retry_after)
+    if result is not None:
+        # scheduler-error responses embed the invalid SolveResult so thin
+        # clients can reproduce the tolerant-batch output bytewise.
+        error["result"] = result
+    return {"id": id, "ok": False, "error": error}

@@ -1,0 +1,347 @@
+"""The solve daemon: a threaded TCP server speaking :mod:`repro.serve.protocol`.
+
+Architecture (one process, stdlib only)::
+
+    client connections          bounded queue           worker threads
+    ───────────────────┐      ┌───────────────┐      ┌──────────────────┐
+    handler thread  ───┼─────▶│ Ticket Ticket │─────▶│ WorkItem solve   │
+    (reads lines,      │      │  (backpressure │      │  + shared warm   │
+     submits tickets)  │      │   when full)   │      │  SolutionCache   │
+    responses written ◀┼──────┴───────────────┴──────┤  + LRU           │
+    in completion order│         deadline monitor     └──────────────────┘
+
+Each connection gets one handler thread (``socketserver.ThreadingTCPServer``)
+that *only* parses lines and submits tickets — it never solves, so a client
+can pipeline hundreds of requests over one connection and they fan out over
+the whole worker pool.  Responses are written by whichever worker finishes,
+serialized per connection by a write lock, in completion order; clients
+match them by ``id``.
+
+Lifecycle: SIGTERM/SIGINT (or a ``shutdown`` message) stop the accept loop
+and *drain* — every request already accepted is answered before the process
+exits.  New solve requests during the drain get a ``shutting-down`` error.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..portfolio.cache import SolutionCache, default_cache_dir
+from ..spec import SolveRequest, SpecError
+from . import protocol
+from .pool import Ticket, WorkerPool
+
+__all__ = ["ServeConfig", "SolveServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Static configuration of one :class:`SolveServer`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from ``address``).
+    port: int = 0
+    #: Worker threads executing solves.
+    jobs: int = 2
+    #: Bound of the request queue — the backpressure knob.
+    queue_size: int = 64
+    #: Solution-cache directory shared by all workers (``None``: resolve the
+    #: process default / ``REPRO_CACHE_DIR``; empty string: caching off).
+    cache_dir: Optional[str] = None
+    #: Default per-request timeout in seconds (``None``: no deadline unless
+    #: the request message carries its own ``timeout``).
+    timeout: Optional[float] = None
+    #: In-process LRU entries of the shared cache.
+    lru_entries: int = 256
+    #: Seconds :meth:`SolveServer.close` waits for the drain to finish.
+    drain_timeout: float = 60.0
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    solve_server: "SolveServer"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection: parse lines, dispatch, never block on solves."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        server: SolveServer = self.server.solve_server
+        write_lock = threading.Lock()
+
+        def send(message: Dict[str, Any]) -> None:
+            data = protocol.encode(message)
+            with write_lock:
+                try:
+                    self.wfile.write(data)
+                    self.wfile.flush()
+                except (OSError, ValueError):
+                    # OSError: client went away; ValueError: the connection's
+                    # buffered writer was already closed by handler teardown.
+                    # Either way the result still warmed the cache.
+                    pass
+
+        tickets = []
+        try:
+            for raw in self.rfile:
+                ticket = server.dispatch(raw, send)
+                if ticket is not None:
+                    tickets.append(ticket)
+        except (ConnectionError, OSError):
+            pass
+        # EOF: the client closed its sending side.  Wait for the requests it
+        # already submitted so their responses are not raced by the close.
+        for ticket in tickets:
+            ticket.done.wait(timeout=server.config.drain_timeout)
+
+
+class SolveServer:
+    """Persistent solve service: TCP front end over a :class:`WorkerPool`.
+
+    Embeddable (tests run it in-process against an ephemeral port) and
+    runnable as a daemon (the ``repro serve`` subcommand calls
+    :meth:`run_forever`, which installs SIGTERM/SIGINT drain handlers).
+    """
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        self.config = config
+        root = config.cache_dir if config.cache_dir is not None else default_cache_dir()
+        self.cache: Optional[SolutionCache] = (
+            SolutionCache(root, max_memory_entries=config.lru_entries) if root else None
+        )
+        self.pool = WorkerPool(
+            config.jobs,
+            config.queue_size,
+            cache=self.cache,
+            default_timeout=config.timeout,
+        )
+        self._tcp = _TcpServer((config.host, config.port), _Handler, bind_and_activate=False)
+        self._tcp.solve_server = self
+        self._serve_thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._draining = False
+        self._closed = False
+        self.started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, start the pool and the accept loop; returns the address."""
+        self._tcp.server_bind()
+        self._tcp.server_activate()
+        self.pool.start()
+        self.started_at = time.monotonic()
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._serve_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting and shut the pool down (draining by default)."""
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._draining = True  # new solve requests get shutting-down errors
+            self._closed = True
+        if self._serve_thread is not None:  # stop the accept loop (thread-safe)
+            self._tcp.shutdown()
+        if drain:
+            self.pool.drain(timeout=self.config.drain_timeout)
+        else:
+            self.pool.stop()
+        self._tcp.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    def run_forever(self) -> None:
+        """Run until SIGTERM/SIGINT (or a ``shutdown`` message), then drain.
+
+        Must be called from the main thread (signal handlers).  The actual
+        accept loop runs on the background thread :meth:`start` spawned.
+        """
+        import signal
+
+        stop = threading.Event()
+
+        def _handle(signum: int, frame: Any) -> None:
+            stop.set()
+
+        previous = {
+            sig: signal.signal(sig, _handle) for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            while not stop.is_set() and not self._closed:
+                stop.wait(0.2)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        self.close(drain=True)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, raw: bytes, send: Callable[[Dict[str, Any]], None]
+    ) -> Optional[Ticket]:
+        """Handle one raw request line; returns the ticket of a solve."""
+        try:
+            message = protocol.decode(raw)
+        except protocol.ProtocolError as exc:
+            self.pool.note_error(protocol.E_INVALID_REQUEST)
+            send(protocol.error_response(None, protocol.E_INVALID_REQUEST, str(exc)))
+            return None
+        rid = message.get("id")
+        op = message.get("op")
+        if op == protocol.OP_SOLVE:
+            return self._dispatch_solve(message, rid, send)
+        if op == protocol.OP_STATS:
+            send(
+                protocol.data_response(
+                    rid, protocol.OP_STATS, self.stats(disk=bool(message.get("disk")))
+                )
+            )
+            return None
+        if op == protocol.OP_HEALTH:
+            send(protocol.data_response(rid, protocol.OP_HEALTH, self.health()))
+            return None
+        if op == protocol.OP_SHUTDOWN:
+            self._dispatch_shutdown(rid, send, drain=bool(message.get("drain", True)))
+            return None
+        self.pool.note_error(protocol.E_INVALID_REQUEST)
+        send(
+            protocol.error_response(
+                rid,
+                protocol.E_INVALID_REQUEST,
+                f"unknown op {op!r}; expected one of {', '.join(protocol.OPS)}",
+            )
+        )
+        return None
+
+    def _dispatch_solve(
+        self, message: Dict[str, Any], rid: Any, send: Callable[[Dict[str, Any]], None]
+    ) -> Optional[Ticket]:
+        if self._draining:
+            self.pool.note_error(protocol.E_SHUTTING_DOWN)
+            send(
+                protocol.error_response(
+                    rid, protocol.E_SHUTTING_DOWN, "server is shutting down"
+                )
+            )
+            return None
+        payload = message.get("request")
+        if not isinstance(payload, dict):
+            self.pool.note_error(protocol.E_INVALID_REQUEST)
+            send(
+                protocol.error_response(
+                    rid, protocol.E_INVALID_REQUEST, "solve message needs a 'request' object"
+                )
+            )
+            return None
+        try:
+            request = SolveRequest.from_dict(payload)
+        except (SpecError, KeyError, TypeError, ValueError) as exc:
+            self.pool.note_error(protocol.E_INVALID_SPEC)
+            send(protocol.error_response(rid, protocol.E_INVALID_SPEC, str(exc)))
+            return None
+        timeout = message.get("timeout", self.config.timeout)
+        deadline = None
+        if timeout is not None:
+            try:
+                deadline = time.monotonic() + float(timeout)
+            except (TypeError, ValueError):
+                self.pool.note_error(protocol.E_INVALID_REQUEST)
+                send(
+                    protocol.error_response(
+                        rid, protocol.E_INVALID_REQUEST, f"bad timeout {timeout!r}"
+                    )
+                )
+                return None
+        ticket = Ticket(request, rid=rid, send=send, deadline=deadline)
+        status = self.pool.submit(ticket)
+        if status == "ok":
+            return ticket
+        if status == "full":
+            self.pool.note_error(protocol.E_QUEUE_FULL)
+            send(
+                protocol.error_response(
+                    rid,
+                    protocol.E_QUEUE_FULL,
+                    f"request queue is full ({self.pool.queue_size} pending)",
+                    retry_after=self.pool.retry_after(),
+                )
+            )
+        else:
+            self.pool.note_error(protocol.E_SHUTTING_DOWN)
+            send(
+                protocol.error_response(
+                    rid, protocol.E_SHUTTING_DOWN, "server is shutting down"
+                )
+            )
+        return None
+
+    def _dispatch_shutdown(
+        self, rid: Any, send: Callable[[Dict[str, Any]], None], *, drain: bool
+    ) -> None:
+        """Drain (on a helper thread), acknowledge, then stop the process loop."""
+
+        def _shutdown() -> None:
+            pending = self.pool.queue_depth() + self.pool.in_flight()
+            self.close(drain=drain)
+            send(
+                protocol.data_response(
+                    rid, protocol.OP_SHUTDOWN, {"drained": pending, "drain": drain}
+                )
+            )
+
+        with self._shutdown_lock:
+            if self._draining:
+                # A second shutdown request during the drain is acknowledged
+                # immediately; the first one owns the actual teardown.
+                send(protocol.data_response(rid, protocol.OP_SHUTDOWN, {"drained": 0, "drain": drain}))
+                return
+            self._draining = True
+        threading.Thread(target=_shutdown, name="repro-serve-shutdown", daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self, *, disk: bool = False) -> Dict[str, Any]:
+        """Uptime, queue/pool counters, latency percentiles, cache telemetry."""
+        stats = self.pool.stats()
+        stats["uptime_s"] = round(time.monotonic() - self.started_at, 3) if self.started_at else 0.0
+        stats["protocol"] = protocol.PROTOCOL
+        stats["draining"] = self._draining
+        if self.cache is not None:
+            stats["cache"]["dir"] = str(self.cache.root)
+            if disk:
+                stats["cache"].update(self.cache.disk_stats())
+        return stats
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": protocol.PROTOCOL,
+            "uptime_s": round(time.monotonic() - self.started_at, 3) if self.started_at else 0.0,
+            "workers": self.pool.jobs,
+        }
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SolveServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(drain=True)
