@@ -18,8 +18,8 @@ from repro.graphs.dag import ComputationalDAG
 from repro.graphs.fine import exp_dag
 from repro.heuristics.bspg import BspGreedyScheduler
 from repro.heuristics.source import SourceScheduler
-from repro.localsearch.hill_climbing import hill_climb
 from repro.localsearch.comm_hill_climbing import comm_hill_climb
+from repro.localsearch.hill_climbing import hill_climb
 from repro.localsearch.state import LocalSearchState
 from repro.model.cost import evaluate
 from repro.model.machine import BspMachine

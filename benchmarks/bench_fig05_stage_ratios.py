@@ -6,9 +6,9 @@ heuristic, the schedule after HC+HCcs, and the final schedule after the ILP
 stages — all normalized to the Cilk baseline.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_fig05_stage_ratios(benchmark, main_datasets, fast_config, emit):

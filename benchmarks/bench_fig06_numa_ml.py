@@ -7,9 +7,9 @@ Cilk) of Cilk, HDagg, the initialization heuristics, HC+HCcs, the final ILP
 stage, and the multilevel scheduler (ML).
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_fig06_numa_with_multilevel(benchmark, main_datasets, fast_config, multilevel_config, emit):

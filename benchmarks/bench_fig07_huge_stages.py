@@ -5,9 +5,9 @@ Regenerates the paper's Figure 7 as a table: the geometric-mean cost ratios
 after HC+HCcs on the huge dataset, for each processor count.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_fig07_huge_stages(benchmark, huge_dataset, heuristics_config, emit):

@@ -5,9 +5,9 @@ reduction of the full scheduling framework relative to the Cilk and HDagg
 baselines, split by (g, P) and by (g, dataset).
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 P_VALUES = (2, 4)

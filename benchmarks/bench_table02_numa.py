@@ -5,9 +5,9 @@ relative to Cilk and HDagg on a binary-tree NUMA hierarchy, for every
 combination of the processor count P and the NUMA factor delta.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table02_numa(benchmark, main_datasets, fast_config, emit, jobs):

@@ -5,9 +5,9 @@ multilevel scheduler relative to Cilk and HDagg for every (P, delta)
 combination of the binary-tree NUMA hierarchy.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table03_multilevel(benchmark, small_dataset, fast_config, multilevel_config, emit):

@@ -5,9 +5,9 @@ shallow spmv training instances are won by each of the initialization
 heuristics (BSPg, Source, ILPinit).
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table04_initializers_spmv(benchmark, training_set, fast_config, emit):

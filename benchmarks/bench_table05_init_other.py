@@ -5,9 +5,9 @@ times each initialization heuristic produces the cheapest starting schedule,
 split by processor count and DAG size bucket.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table05_initializers_other(benchmark, training_set, fast_config, emit):

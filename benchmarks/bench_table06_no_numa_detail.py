@@ -4,9 +4,9 @@ Regenerates the paper's Table 6: the cost reduction of the framework versus
 Cilk and HDagg for every combination of g, P and dataset.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table06_no_numa_detail(benchmark, main_datasets, fast_config, emit):

@@ -5,9 +5,9 @@ ETF, Cilk, HDagg and every stage of our framework, per dataset, for the
 highest communication cost g = 5.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table07_algorithm_ratios(benchmark, main_datasets, fast_config, emit):

@@ -5,9 +5,9 @@ classical baseline, so the table reports the framework's improvement against
 ETF for every (g, P) combination.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table08_vs_etf(benchmark, tiny_dataset, fast_config, emit):

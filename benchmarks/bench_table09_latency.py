@@ -6,9 +6,9 @@ l in {2, 5, 10, 20}.  The paper's observation is that the improvement grows
 (slowly) with the latency.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table09_latency(benchmark, small_dataset, fast_config, emit):

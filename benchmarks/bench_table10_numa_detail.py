@@ -5,9 +5,9 @@ and HDagg for every dataset and every (P, delta) combination of the NUMA
 hierarchy (g = 1, l = 5).
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table10_numa_detail(benchmark, main_datasets, fast_config, emit):

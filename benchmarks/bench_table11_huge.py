@@ -5,9 +5,9 @@ skipped and only the initializers plus HC/HCcs run; the table reports the
 cost reduction versus Cilk and HDagg per (g, P).
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table11_huge(benchmark, huge_dataset, heuristics_config, emit):

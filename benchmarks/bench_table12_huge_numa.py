@@ -4,9 +4,9 @@ Regenerates the paper's Table 12: the cost reduction of Init+HC+HCcs versus
 Cilk and HDagg on the huge dataset with the binary-tree NUMA hierarchy.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table12_huge_numa(benchmark, huge_dataset, heuristics_config, emit):

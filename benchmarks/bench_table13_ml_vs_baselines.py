@@ -5,9 +5,9 @@ of the multilevel scheduler run with a 15% coarsening ratio, a 30% ratio,
 and the best of the two, in the NUMA setting.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table13_ml_vs_baselines(benchmark, small_dataset, fast_config, multilevel_config, emit):

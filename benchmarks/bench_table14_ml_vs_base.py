@@ -6,9 +6,9 @@ schedule, in the NUMA setting.  Values below 1 mean the multilevel approach
 wins — in the paper this happens once the NUMA factor delta is large.
 """
 
-from repro.experiments import tables as paper_tables
-
 from conftest import run_once
+
+from repro.experiments import tables as paper_tables
 
 
 def test_table14_ml_vs_base(benchmark, small_dataset, fast_config, multilevel_config, emit):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +60,6 @@ def simulate_work_stealing(
     events: List[Tuple[float, int, int, int]] = []
     seq = 0
     busy = [False] * P
-    idle_since = [0.0] * P
     scheduled = 0
 
     def try_assign(p: int, now: float) -> bool:

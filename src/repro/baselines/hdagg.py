@@ -15,7 +15,7 @@ method is a general DAG scheduler, which is what is reimplemented here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 

@@ -132,7 +132,7 @@ def list_schedule(
             pp = proc[parents]
             # A processor hosting parents gets their bare finish times; the
             # cross-processor max must then exclude those parents' base terms.
-            for p in set(pp.tolist()):
+            for p in sorted(set(pp.tolist())):
                 on = pp == p
                 m = float(f[on].max())
                 off = base[~on]

@@ -1,0 +1,7 @@
+"""``python -m repro.checks`` — same entry point as ``repro check``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,265 @@
+"""Framework of the ``repro check`` static-analysis suite.
+
+The moving parts, shared by every rule:
+
+* :class:`SourceModule` — one parsed python file: source text, AST (with
+  parent links), per-line ``# repro-check: disable=...`` pragmas, and the
+  path bookkeeping rules scope themselves by;
+* :class:`Project` — all modules of one run, for rules that need
+  cross-file knowledge (the protocol registry lives in one file, its call
+  sites in others);
+* :class:`Rule` — the plugin interface: per-module :meth:`Rule.check_module`
+  findings plus an optional project-wide :meth:`Rule.finish_project` pass
+  that runs after every module was parsed;
+* :class:`Finding` — one structured finding (``path:line:col``, rule id,
+  message), ordered deterministically;
+* the baseline store (:func:`load_baseline` / :func:`write_baseline`) —
+  a committed JSON file grandfathering known findings, keyed by
+  ``(path, rule, message)`` so line drift does not invalidate entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Version header of the baseline file format.
+BASELINE_VERSION = 1
+
+#: ``# repro-check: disable=rule-a,rule-b`` (or ``disable=all``) pragma.
+_PRAGMA_RE = re.compile(r"#\s*repro-check:\s*disable=([A-Za-z0-9_*,\s-]+)")
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or version-incompatible baseline file."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured finding; the dataclass order is the report order."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number drift."""
+        return (self.path, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class SourceModule:
+    """One parsed source file plus the metadata rules need to scope by."""
+
+    def __init__(self, path: Path, relpath: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        #: Posix-style path relative to the checked root, used in findings.
+        self.relpath = relpath
+        self.text = text
+        self.tree = tree
+        self.parts: Tuple[str, ...] = tuple(Path(relpath).parts)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._pragmas: Optional[Dict[int, Set[str]]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "SourceModule":
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        return cls(path, relpath, text, tree)
+
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map of the AST (built lazily, once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's enclosing nodes, innermost first."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    # ------------------------------------------------------------------
+    @property
+    def pragmas(self) -> Dict[int, Set[str]]:
+        """Line number -> rule names disabled on that line (``*`` for all)."""
+        if self._pragmas is None:
+            pragmas: Dict[int, Set[str]] = {}
+            for lineno, line in enumerate(self.text.splitlines(), start=1):
+                match = _PRAGMA_RE.search(line)
+                if match is None:
+                    continue
+                rules = {
+                    part.strip().lower()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                if "all" in rules:
+                    rules.add("*")
+                pragmas[lineno] = rules
+            self._pragmas = pragmas
+        return self._pragmas
+
+    def disabled(self, rule: str, line: int) -> bool:
+        """Whether a pragma on ``line`` suppresses ``rule``."""
+        rules = self.pragmas.get(line)
+        return bool(rules) and ("*" in rules or rule.lower() in rules)
+
+    # ------------------------------------------------------------------
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Project:
+    """All modules of one check run, for cross-file rules."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+
+    def find(self, *suffix: str) -> Optional[SourceModule]:
+        """The first module whose path ends with the given parts, if any."""
+        for module in self.modules:
+            if module.parts[-len(suffix):] == suffix:
+                return module
+        return None
+
+
+class Rule:
+    """Base class of one pluggable check.
+
+    Subclasses set :attr:`name` / :attr:`description` and override
+    :meth:`check_module` (per-file findings) and/or :meth:`finish_project`
+    (findings that need the whole run parsed first).  Pragma and baseline
+    filtering happen in the runner — rules simply emit every finding.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Baseline store
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> Set[Tuple[str, str, str]]:
+    """Grandfathered finding keys from a committed baseline file.
+
+    A missing file is an empty baseline; a malformed one raises
+    :class:`BaselineError` (silently ignoring a broken baseline would
+    un-grandfather every finding at once).
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return set()
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version {data.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: Set[Tuple[str, str, str]] = set()
+    for entry in data.get("findings", ()):
+        try:
+            keys.add((str(entry["path"]), str(entry["rule"]), str(entry["message"])))
+        except (KeyError, TypeError) as exc:
+            raise BaselineError(f"baseline {path} has a malformed entry: {entry!r}") from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the baseline file grandfathering ``findings`` (sorted, stable)."""
+    entries = sorted({finding.key() for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> imported module path for plain ``import`` statements.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``import os`` maps
+    ``os -> os``.  Used to tell a real ``random.random()`` call from an
+    attribute access on some local variable that happens to be named
+    ``random``.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+    return imports

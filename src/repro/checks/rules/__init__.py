@@ -1,0 +1,38 @@
+"""The shipped rules of the ``repro check`` suite.
+
+Each module defines one :class:`~repro.checks.core.Rule` subclass; the
+registry below is the single place a new rule is wired in (the runner and
+the ``--rules`` CLI flag both resolve through it).
+"""
+
+from typing import Dict, List, Type
+
+from ..core import Rule
+from .determinism import DeterminismRule
+from .frozen_spec import FrozenSpecMutationRule
+from .lock_discipline import LockDisciplineRule
+from .protocol_contract import ProtocolContractRule
+from .registry_contract import RegistryContractRule
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "FrozenSpecMutationRule",
+    "LockDisciplineRule",
+    "ProtocolContractRule",
+    "RegistryContractRule",
+    "rule_registry",
+]
+
+ALL_RULES: List[Type[Rule]] = [
+    DeterminismRule,
+    FrozenSpecMutationRule,
+    LockDisciplineRule,
+    ProtocolContractRule,
+    RegistryContractRule,
+]
+
+
+def rule_registry() -> Dict[str, Type[Rule]]:
+    """Rule name -> rule class, in deterministic order."""
+    return {cls.name: cls for cls in ALL_RULES}

@@ -1,0 +1,171 @@
+"""Determinism lint: no unseeded RNG, wall clocks, or unordered iteration.
+
+Byte-identical reproduction breaks the moment a result-producing code path
+consults an unseeded random stream, the wall clock, or filesystem/set
+iteration order.  This rule bans the common sources statically:
+
+* calls through the process-global RNG singletons — ``np.random.rand(...)``,
+  ``random.random()``, ``random.seed(...)`` and friends.  Seeded generator
+  *construction* (``np.random.default_rng(seed)``, ``random.Random(seed)``)
+  is the sanctioned idiom and passes; constructing one *without* a seed is
+  flagged;
+* ``time.time()`` outside the timing allowlist (benchmark harnesses and
+  tests).  Budget checks in solver code must use ``time.monotonic`` — the
+  wall clock jumps under NTP and breaks deadline arithmetic;
+* iterating a ``set`` (literal, comprehension, or ``set(...)`` call) or
+  ``os.listdir(...)`` in result-producing modules (everything outside
+  ``tests``/``benchmarks``).  Iteration order of a set depends on insertion
+  and hash history; ``os.listdir`` order depends on the filesystem.  Wrap
+  either in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set
+
+from ..core import Finding, Rule, SourceModule, dotted_name, module_imports
+
+__all__ = ["DeterminismRule"]
+
+#: Constructors of seedable generator objects: fine *with* a seed argument.
+_SEEDED_CONSTRUCTORS = {"default_rng", "RandomState", "Generator", "SeedSequence", "Random"}
+
+#: Directory names whose modules are timing/test harnesses — allowed to use
+#: ``time.time`` and to iterate sets (they do not produce solver results).
+_HARNESS_PARTS = {"tests", "benchmarks"}
+
+
+def _is_harness(module: SourceModule) -> bool:
+    return bool(_HARNESS_PARTS.intersection(module.parts))
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "ban unseeded RNG calls, wall-clock time.time() outside timing "
+        "modules, and unsorted set/os.listdir iteration in result-producing "
+        "modules"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        imports = module_imports(module.tree)
+        numpy_names = {name for name, target in imports.items() if target == "numpy"}
+        random_is_module = imports.get("random") == "random"
+        time_is_module = imports.get("time") == "time"
+        os_is_module = imports.get("os") == "os"
+        harness = _is_harness(module)
+
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(
+                    self._check_call(
+                        module,
+                        node,
+                        numpy_names=numpy_names,
+                        random_is_module=random_is_module,
+                        time_is_module=time_is_module,
+                        harness=harness,
+                    )
+                )
+            if not harness:
+                for iter_node in _iterated_expressions(node):
+                    findings.extend(
+                        self._check_iteration(module, iter_node, os_is_module=os_is_module)
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        *,
+        numpy_names: Set[str],
+        random_is_module: bool,
+        time_is_module: bool,
+        harness: bool,
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        # np.random.<fn>(...) through any local alias of numpy.
+        if len(parts) == 3 and parts[0] in numpy_names and parts[1] == "random":
+            fn = parts[2]
+            if fn in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"unseeded {parts[0]}.random.{fn}() — pass an explicit seed",
+                    )
+            else:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"call to the global numpy RNG {parts[0]}.random.{fn}(...) — "
+                    "use a seeded np.random.default_rng(seed) instance",
+                )
+        # random.<fn>(...) through the stdlib module.
+        if random_is_module and len(parts) == 2 and parts[0] == "random":
+            fn = parts[1]
+            if fn in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"unseeded random.{fn}() — pass an explicit seed",
+                    )
+            elif fn[:1].islower():  # functions mutate the hidden global stream
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"call to the global stdlib RNG random.{fn}(...) — "
+                    "use a seeded random.Random(seed) instance",
+                )
+        # time.time() — wall clock — outside the timing harness allowlist.
+        if time_is_module and name == "time.time" and not harness:
+            yield module.finding(
+                self.name,
+                node,
+                "wall-clock time.time() in a result-producing module — "
+                "budget checks must use time.monotonic()",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_iteration(
+        self, module: SourceModule, iter_node: ast.AST, *, os_is_module: bool
+    ) -> Iterator[Finding]:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            yield module.finding(
+                self.name,
+                iter_node,
+                "iteration over a set has no deterministic order — wrap in sorted(...)",
+            )
+            return
+        if not isinstance(iter_node, ast.Call):
+            return
+        name = dotted_name(iter_node.func)
+        if name == "set":
+            yield module.finding(
+                self.name,
+                iter_node,
+                "iteration over set(...) has no deterministic order — wrap in sorted(...)",
+            )
+        elif os_is_module and name == "os.listdir":
+            yield module.finding(
+                self.name,
+                iter_node,
+                "os.listdir(...) order depends on the filesystem — wrap in sorted(...)",
+            )
+
+
+def _iterated_expressions(node: ast.AST) -> Iterator[ast.AST]:
+    """Expressions a node iterates over (for loops and comprehensions)."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter

@@ -1,0 +1,166 @@
+"""Frozen-spec mutation check.
+
+The spec types (:class:`~repro.spec.ProblemSpec`,
+:class:`~repro.spec.SolveRequest`, :class:`~repro.spec.SolveResult`,
+:class:`~repro.spec.MachineSpec`, :class:`~repro.spec.DagSpec`) are frozen
+dataclasses: their hash feeds work-item signatures, cache keys, and
+checkpoint resume.  A mutated instance silently invalidates all three.
+Python's runtime guard (``FrozenInstanceError``) can be bypassed with
+``object.__setattr__`` — the very idiom the defining module uses in its
+``__post_init__`` normalizers — so this rule re-establishes the boundary
+statically: *no attribute assignment on a spec instance outside
+``repro/spec.py``*.
+
+Instances are recognized by a local, per-function inference pass:
+
+* variables assigned from a spec constructor or classmethod
+  (``MachineSpec(...)``, ``SolveRequest.from_dict(...)``, ...);
+* parameters and variables annotated with a spec type (including string
+  and ``Optional[...]`` annotations);
+* ``object.__setattr__(x, ...)`` where ``x`` is such an instance.
+
+Assignments *to* a freshly constructed value (``spec = ProblemSpec(...)``)
+are of course fine — only attribute stores on the instance are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Set
+
+from ..core import Finding, Rule, SourceModule
+
+__all__ = ["FROZEN_SPEC_TYPES", "FrozenSpecMutationRule"]
+
+#: The frozen spec classes whose instances must never be mutated.
+FROZEN_SPEC_TYPES = (
+    "DagSpec",
+    "MachineSpec",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+)
+
+_TYPE_NAME_RE = re.compile("|".join(rf"\b{name}\b" for name in FROZEN_SPEC_TYPES))
+
+
+def _annotation_is_spec(annotation: Optional[ast.AST]) -> bool:
+    """Whether an annotation mentions a frozen spec type.
+
+    Matches plain names, string annotations, and wrappers like
+    ``Optional[SolveRequest]`` — the textual form is enough here; a false
+    positive requires naming an unrelated class exactly like a spec type.
+    """
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return False
+    return _TYPE_NAME_RE.search(text) is not None
+
+
+def _constructed_spec(value: ast.AST) -> bool:
+    """Whether an expression constructs a frozen spec instance."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id in FROZEN_SPEC_TYPES
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        # Classmethod constructors: SolveRequest.from_dict(...), etc.
+        if isinstance(base, ast.Name) and base.id in FROZEN_SPEC_TYPES:
+            return True
+    return False
+
+
+class FrozenSpecMutationRule(Rule):
+    name = "frozen-spec-mutation"
+    description = (
+        "no attribute assignment on frozen spec instances "
+        f"({', '.join(FROZEN_SPEC_TYPES)}) outside their defining module"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.parts[-2:] == ("repro", "spec.py"):
+            return ()  # the defining module owns its __post_init__ setattrs
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, module: SourceModule, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        spec_vars = self._spec_locals(function)
+        if not spec_vars:
+            return
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    name = self._mutated_spec_var(target, spec_vars)
+                    if name is not None:
+                        yield module.finding(
+                            self.name,
+                            node,
+                            "attribute assignment on frozen spec instance "
+                            f"{name!r} — spec objects are immutable; build a "
+                            "new instance instead",
+                        )
+            elif isinstance(node, ast.Call):
+                if self._is_object_setattr(node) and node.args:
+                    target = node.args[0]
+                    if isinstance(target, ast.Name) and target.id in spec_vars:
+                        yield module.finding(
+                            self.name,
+                            node,
+                            "object.__setattr__ on frozen spec instance "
+                            f"{target.id!r} bypasses the immutability contract",
+                        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spec_locals(function: ast.FunctionDef) -> Set[str]:
+        """Names bound to frozen spec instances inside this function."""
+        names: Set[str] = set()
+        args = function.args
+        for arg in args.args + args.kwonlyargs + args.posonlyargs:
+            if _annotation_is_spec(arg.annotation):
+                names.add(arg.arg)
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and _constructed_spec(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _annotation_is_spec(node.annotation) or (
+                    node.value is not None and _constructed_spec(node.value)
+                ):
+                    names.add(node.target.id)
+        return names
+
+    @staticmethod
+    def _mutated_spec_var(target: ast.AST, spec_vars: Set[str]) -> Optional[str]:
+        """The spec variable a store target mutates (``var.attr = ...``)."""
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in spec_vars
+        ):
+            return target.value.id
+        return None
+
+    @staticmethod
+    def _is_object_setattr(node: ast.Call) -> bool:
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )

@@ -1,0 +1,164 @@
+"""Lock-discipline check for the serve subsystem.
+
+The serve daemon's correctness rests on hand-maintained invariants:
+answer-exactly-once tickets, counter-undo when a respond race is lost, one
+lock guarding every shared counter.  Those invariants all reduce to one
+mechanical rule this check enforces:
+
+    In a module under ``serve/``, an instance attribute mutated from more
+    than one method of a *thread-spawning* class must only be mutated
+    inside a ``with self.<lock>:`` block.
+
+* a class is thread-spawning when its body constructs a ``threading.Thread``
+  (directly or via an alias) — exactly the classes whose methods run
+  concurrently;
+* a *mutation* is an assignment/augmented assignment/deletion of
+  ``self.attr`` (including stores through ``self.attr[...]``) or a call to
+  a known container mutator (``self.attr.append(...)``, ``.remove``, ...);
+* ``__init__`` mutations are exempt (no other thread exists yet) and do
+  not count toward the two-method threshold;
+* any attribute whose name contains ``lock`` qualifies as the guard, so
+  both ``self._lock`` and ``self._shutdown_lock`` discipline their blocks.
+
+A mutation that is intentionally unguarded (e.g. a helper documented as
+"caller holds the lock") carries a justified
+``# repro-check: disable=lock-discipline`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core import Finding, Rule, SourceModule
+
+__all__ = ["LockDisciplineRule"]
+
+#: Method names that mutate their container in place.
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+    "move_to_end",
+}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when the node is ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _spawns_threads(class_node: ast.ClassDef) -> bool:
+    """Whether the class body constructs a thread anywhere."""
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "Thread":
+            return True
+        if isinstance(func, ast.Name) and func.id == "Thread":
+            return True
+    return False
+
+
+def _mutations(method: ast.FunctionDef) -> Iterator[Tuple[str, ast.AST]]:
+    """(attribute, node) pairs for every ``self.attr`` mutation in a method."""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _mutated_attr(target)
+                if attr is not None:
+                    yield attr, node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _mutated_attr(target)
+                if attr is not None:
+                    yield attr, node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    yield attr, node
+
+
+def _mutated_attr(target: ast.AST) -> Optional[str]:
+    """The ``self`` attribute a store target mutates, unwrapping subscripts."""
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    return _self_attr(target)
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "in serve/, instance attributes mutated from more than one method "
+        "of a thread-spawning class must be mutated under `with self.<lock>:`"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if "serve" not in module.parts[:-1]:
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _spawns_threads(node):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, module: SourceModule, class_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        by_attr: Dict[str, List[Tuple[str, ast.FunctionDef, ast.AST]]] = {}
+        for method in class_node.body:
+            if not isinstance(method, ast.FunctionDef) or method.name == "__init__":
+                continue
+            for attr, node in _mutations(method):
+                if "lock" in attr.lower():
+                    continue  # the guard itself is never re-bound under itself
+                by_attr.setdefault(attr, []).append((method.name, method, node))
+        for attr, sites in sorted(by_attr.items()):
+            methods = {name for name, _, _ in sites}
+            if len(methods) < 2:
+                continue
+            for method_name, method, node in sites:
+                if self._under_lock(module, method, node):
+                    continue
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"{class_node.name}.{attr} is mutated from "
+                    f"{len(methods)} methods ({', '.join(sorted(methods))}) but "
+                    f"this mutation in {method_name}() is not under "
+                    "`with self.<lock>:`",
+                )
+
+    @staticmethod
+    def _under_lock(module: SourceModule, method: ast.FunctionDef, node: ast.AST) -> bool:
+        """Whether the node sits inside a ``with self.<lock>:`` in its method."""
+        for ancestor in module.ancestors(node):
+            if ancestor is method:
+                return False
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and "lock" in attr.lower():
+                        return True
+        return False

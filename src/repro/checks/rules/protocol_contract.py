@@ -1,0 +1,239 @@
+"""Protocol contract audit: error codes vs. the wire-format registry.
+
+``serve/protocol.py`` is the single source of truth for the daemon's error
+codes: the ``E_*`` string constants and the ``ERROR_CODES`` tuple that
+:func:`~repro.serve.protocol.error_response` validates against at runtime.
+That runtime assert only fires on the error path actually exercised — a
+typo'd or unregistered code in a rarely-hit branch survives every happy-path
+test.  This project-wide rule closes the gap statically, in both directions:
+
+* every module-level ``E_* = "..."`` constant must appear in ``ERROR_CODES``
+  (a declared-but-unregistered code would crash ``error_response`` the first
+  time that branch fires);
+* every ``ERROR_CODES`` element must be a declared ``E_*`` constant, and no
+  two constants may share a wire value;
+* every *call site* in ``serve/`` that passes an error code —
+  ``error_response(rid, code, ...)``, ``note_error(code)``,
+  ``_refuse(ticket, code, ...)`` — must pass a declared constant (or a
+  literal equal to a declared wire value);
+* a declared code never referenced anywhere in ``serve/`` outside
+  ``protocol.py`` and the package re-export is dead weight and flagged.
+
+Dynamic code expressions (a variable, ``error.get("code")``) cannot be
+audited statically and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, Project, Rule, SourceModule, dotted_name
+
+__all__ = ["ProtocolContractRule"]
+
+#: Functions that accept an error code, and the positional index it lands at.
+_CODE_ARG_INDEX = {
+    "error_response": 1,  # error_response(rid, code, message, ...)
+    "note_error": 0,      # note_error(code)
+    "_refuse": 1,         # _refuse(ticket, code, message)
+}
+
+#: serve/ files whose mention of a code does not count as *use*.
+_NON_USE_FILES = {"protocol.py", "__init__.py"}
+
+
+def _declared_codes(tree: ast.Module) -> Dict[str, Tuple[str, ast.Assign]]:
+    """Module-level ``E_NAME = "wire-value"`` constants of protocol.py."""
+    out: Dict[str, Tuple[str, ast.Assign]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("E_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                out[target.id] = (node.value.value, node)
+    return out
+
+
+def _registry_elements(tree: ast.Module) -> Optional[Tuple[ast.AST, List[ast.AST]]]:
+    """The ``ERROR_CODES = (...)`` assignment node and its elements."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == "ERROR_CODES":
+                value = node.value
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    return node, list(value.elts)
+                return node, []
+    return None
+
+
+class ProtocolContractRule(Rule):
+    name = "protocol-contract"
+    description = (
+        "serve/ error codes and the protocol.py ERROR_CODES registry must "
+        "agree in both directions, at every call site"
+    )
+
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        protocol = project.find("serve", "protocol.py")
+        if protocol is None:
+            return ()
+        declared = _declared_codes(protocol.tree)
+        registry = _registry_elements(protocol.tree)
+        findings: List[Finding] = []
+        findings.extend(self._check_registry(protocol, declared, registry))
+        used: Set[str] = set()
+        for module in project.modules:
+            if "serve" not in module.parts[:-1] or module.parts[-1] in _NON_USE_FILES:
+                continue
+            findings.extend(self._check_call_sites(module, declared))
+            used.update(self._referenced_codes(module, declared))
+        findings.extend(self._check_unused(protocol, declared, used))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_registry(
+        self,
+        protocol: SourceModule,
+        declared: Dict[str, Tuple[str, ast.Assign]],
+        registry: Optional[Tuple[ast.AST, List[ast.AST]]],
+    ) -> Iterator[Finding]:
+        if registry is None:
+            yield protocol.finding(
+                self.name,
+                protocol.tree,
+                "protocol.py declares no ERROR_CODES registry tuple",
+            )
+            return
+        registry_node, elements = registry
+        registered: Set[str] = set()
+        for element in elements:
+            if isinstance(element, ast.Name) and element.id in declared:
+                registered.add(element.id)
+            elif isinstance(element, ast.Constant) and isinstance(element.value, str):
+                matches = [n for n, (v, _) in declared.items() if v == element.value]
+                if matches:
+                    registered.update(matches)
+                else:
+                    yield protocol.finding(
+                        self.name,
+                        element,
+                        f"ERROR_CODES entry {element.value!r} has no matching "
+                        "E_* constant",
+                    )
+            else:
+                yield protocol.finding(
+                    self.name,
+                    element,
+                    "ERROR_CODES entry is not a declared E_* constant",
+                )
+        for name in sorted(set(declared) - registered):
+            _, node = declared[name]
+            yield protocol.finding(
+                self.name,
+                node,
+                f"error code {name} is declared but missing from ERROR_CODES — "
+                "error_response() would reject it at runtime",
+            )
+        by_value: Dict[str, List[str]] = {}
+        for name, (value, _) in declared.items():
+            by_value.setdefault(value, []).append(name)
+        for value, names in sorted(by_value.items()):
+            if len(names) > 1:
+                _, node = declared[sorted(names)[1]]
+                yield protocol.finding(
+                    self.name,
+                    node,
+                    f"error codes {', '.join(sorted(names))} share the wire "
+                    f"value {value!r}",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_call_sites(
+        self, module: SourceModule, declared: Dict[str, Tuple[str, ast.Assign]]
+    ) -> Iterator[Finding]:
+        values = {value for value, _ in declared.values()}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            if func_name is None:
+                continue
+            tail = func_name.rsplit(".", 1)[-1]
+            index = _CODE_ARG_INDEX.get(tail)
+            if index is None:
+                continue
+            code = self._code_argument(node, index)
+            if code is None:
+                continue
+            if isinstance(code, ast.Constant):
+                if isinstance(code.value, str) and code.value not in values:
+                    yield module.finding(
+                        self.name,
+                        code,
+                        f"{tail}() called with literal code {code.value!r} "
+                        "which is not a registered protocol error code",
+                    )
+                continue
+            name = self._code_name(code)
+            if name is not None and name not in declared:
+                yield module.finding(
+                    self.name,
+                    code,
+                    f"{tail}() called with undeclared error code constant "
+                    f"{name} — not defined in serve/protocol.py",
+                )
+
+    @staticmethod
+    def _code_argument(node: ast.Call, index: int) -> Optional[ast.AST]:
+        for keyword in node.keywords:
+            if keyword.arg == "code":
+                return keyword.value
+        if len(node.args) > index:
+            return node.args[index]
+        return None
+
+    @staticmethod
+    def _code_name(code: ast.AST) -> Optional[str]:
+        """The ``E_*`` constant a code expression names, if it names one."""
+        if isinstance(code, ast.Name) and code.id.startswith("E_"):
+            return code.id
+        if isinstance(code, ast.Attribute) and code.attr.startswith("E_"):
+            return code.attr
+        return None
+
+    # ------------------------------------------------------------------
+    def _referenced_codes(
+        self, module: SourceModule, declared: Dict[str, Tuple[str, ast.Assign]]
+    ) -> Set[str]:
+        values = {value: name for name, (value, _) in declared.items()}
+        used: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name) and node.id in declared:
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute) and node.attr in declared:
+                used.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value in values:
+                    used.add(values[node.value])
+        return used
+
+    def _check_unused(
+        self,
+        protocol: SourceModule,
+        declared: Dict[str, Tuple[str, ast.Assign]],
+        used: Set[str],
+    ) -> Iterator[Finding]:
+        for name in sorted(set(declared) - used):
+            _, node = declared[name]
+            yield protocol.finding(
+                self.name,
+                node,
+                f"error code {name} is never produced or handled anywhere in "
+                "serve/ — dead protocol surface",
+            )

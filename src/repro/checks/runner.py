@@ -1,0 +1,313 @@
+"""Runner and CLI of the ``repro check`` static-analysis suite.
+
+Collects python files deterministically, parses each once, runs every
+selected rule (per-module passes, then project-wide passes), filters the
+raw findings through per-line pragmas and the committed baseline, and
+renders the survivors for humans or CI (``--format json``).
+
+Exit codes: ``0`` clean, ``1`` findings (or unparseable files), ``2``
+usage / baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .core import (
+    BaselineError,
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    load_baseline,
+    write_baseline,
+)
+from .rules import ALL_RULES, rule_registry
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "CheckReport",
+    "all_rules",
+    "collect_files",
+    "main",
+    "run_checks",
+]
+
+#: Baseline file committed at the repo root.
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+#: Directories checked when the CLI is invoked without paths.
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+#: Path parts that are never source code.
+_SKIP_PARTS = {"__pycache__", ".git"}
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every shipped rule, in deterministic order."""
+    return [cls() for cls in ALL_RULES]
+
+
+def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """``(path, relpath)`` for every python file under ``paths``, sorted.
+
+    ``relpath`` — the identity used in findings and the baseline — is
+    relative to the current directory when the file lies under it, else
+    the path as given; always posix-style, so reports are byte-identical
+    across platforms.
+    """
+    cwd = Path.cwd().resolve()
+    seen: Set[Path] = set()
+    collected: List[Tuple[Path, str]] = []
+    for root in paths:
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in candidates:
+            if path.suffix != ".py" or _SKIP_PARTS.intersection(path.parts):
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                relpath = resolved.relative_to(cwd).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            collected.append((resolved, relpath))
+    collected.sort(key=lambda item: item[1])
+    return collected
+
+
+class CheckReport:
+    """Outcome of one check run, split into what CI needs to react to."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        baselined: List[Finding],
+        errors: List[Tuple[str, str]],
+        stale_baseline: int,
+        checked_files: int,
+    ) -> None:
+        #: New findings: not pragma-suppressed, not in the baseline.
+        self.findings = findings
+        #: Grandfathered findings matched by the baseline.
+        self.baselined = baselined
+        #: ``(relpath, message)`` for files that failed to parse.
+        self.errors = errors
+        #: Baseline entries no current finding matches (candidates to drop).
+        self.stale_baseline = stale_baseline
+        self.checked_files = checked_files
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    # ------------------------------------------------------------------
+    def render_human(self) -> str:
+        lines: List[str] = []
+        for relpath, message in self.errors:
+            lines.append(f"{relpath}: [parse-error] {message}")
+        for finding in self.findings:
+            lines.append(finding.render())
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.checked_files} file(s)"
+        )
+        if self.baselined:
+            summary += f", {len(self.baselined)} baselined"
+        if self.stale_baseline:
+            summary += (
+                f", {self.stale_baseline} stale baseline entr"
+                f"{'y' if self.stale_baseline == 1 else 'ies'}"
+                " (re-run with --update-baseline to drop)"
+            )
+        if self.errors:
+            summary += f", {len(self.errors)} unparseable file(s)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "checked_files": self.checked_files,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "errors": [
+                {"path": relpath, "message": message}
+                for relpath, message in self.errors
+            ],
+            "stale_baseline": self.stale_baseline,
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_checks(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Set[Tuple[str, str, str]]] = None,
+) -> CheckReport:
+    """Run ``rules`` over every python file under ``paths``."""
+    active = list(rules) if rules is not None else all_rules()
+    baseline_keys = baseline or set()
+
+    modules: List[SourceModule] = []
+    errors: List[Tuple[str, str]] = []
+    for path, relpath in collect_files(paths):
+        try:
+            modules.append(SourceModule.parse(path, relpath))
+        except (SyntaxError, ValueError) as exc:
+            errors.append((relpath, f"cannot parse: {exc}"))
+
+    by_relpath: Dict[str, SourceModule] = {m.relpath: m for m in modules}
+    raw: List[Finding] = []
+    for rule in active:
+        for module in modules:
+            raw.extend(rule.check_module(module))
+    project = Project(modules)
+    for rule in active:
+        raw.extend(rule.finish_project(project))
+
+    findings: List[Finding] = []
+    baselined: List[Finding] = []
+    matched_keys: Set[Tuple[str, str, str]] = set()
+    for finding in sorted(set(raw)):
+        module = by_relpath.get(finding.path)
+        if module is not None and module.disabled(finding.rule, finding.line):
+            continue
+        if finding.key() in baseline_keys:
+            matched_keys.add(finding.key())
+            baselined.append(finding)
+            continue
+        findings.append(finding)
+
+    return CheckReport(
+        findings=findings,
+        baselined=baselined,
+        errors=errors,
+        stale_baseline=len(baseline_keys - matched_keys),
+        checked_files=len(modules),
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to check (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (see --list-rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    if spec is None:
+        return all_rules()
+    registry = rule_registry()
+    selected: List[Rule] = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise SystemExit(f"repro check: unknown rule {name!r} (known: {known})")
+        selected.append(registry[name]())
+    if not selected:
+        raise SystemExit("repro check: --rules selected no rules")
+    return selected
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(p) for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "repro check: none of the default paths "
+                f"({', '.join(DEFAULT_PATHS)}) exist here",
+                file=sys.stderr,
+            )
+            return 2
+
+    rules = _select_rules(args.rules)
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_checks(paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        write_baseline(baseline_path, report.findings + report.baselined)
+        print(
+            f"baseline {baseline_path} updated: "
+            f"{len(report.findings) + len(report.baselined)} finding(s) grandfathered"
+        )
+        return 0 if not report.errors else 1
+
+    output = report.render_json() if args.format == "json" else report.render_human()
+    print(output)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

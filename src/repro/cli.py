@@ -1,10 +1,11 @@
 """Command-line interface: ``python -m repro``.
 
-Ten subcommands cover the workflows a downstream user needs most often —
+Eleven subcommands cover the workflows a downstream user needs most often —
 one-shot solving (``schedule``, ``batch``), the persistent solve service
 (``serve``, ``submit``, ``cache-stats``), portfolio/registry introspection
-(``portfolio-explain``, ``list-schedulers``), and instance tooling
-(``repro``, ``generate``, ``info``):
+(``portfolio-explain``, ``list-schedulers``), instance tooling
+(``repro``, ``generate``, ``info``), and the repo's own static analysis
+(``check``):
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file, a generated instance, or
@@ -63,6 +64,13 @@ one-shot solving (``schedule``, ``batch``), the persistent solve service
 ``info``
     Print structural statistics of a hyperDAG file.
 
+``check``
+    Run the project-specific static-analysis suite (:mod:`repro.checks`):
+    determinism lint, serve lock-discipline, registry/protocol contract
+    audits, frozen-spec mutation.  Findings can be suppressed per line
+    (``# repro-check: disable=<rule>``) or grandfathered in the committed
+    baseline file.
+
 Examples::
 
     python -m repro generate --kind spmv --size 12 --out spmv.hdag
@@ -82,6 +90,8 @@ Examples::
     python -m repro cache-stats --addr 127.0.0.1:7464
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
+    python -m repro check src tests benchmarks
+    python -m repro check --format json --rules determinism,lock-discipline
     python -m repro --version
 """
 
@@ -122,13 +132,13 @@ def _load_spec_file(path: str) -> "SolveRequest | ProblemSpec":
         with open(path) as handle:
             data = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"cannot read spec file {path!r}: {exc}")
+        raise SystemExit(f"cannot read spec file {path!r}: {exc}") from exc
     try:
         if isinstance(data, dict) and "spec" in data:
             return SolveRequest.from_dict(data)
         return ProblemSpec.from_dict(data)
     except (SpecError, KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"invalid spec file {path!r}: {exc}")
+        raise SystemExit(f"invalid spec file {path!r}: {exc}") from exc
 
 
 def _generate(kind: str, size: int, iterations: int, density: float, seed: int) -> ComputationalDAG:
@@ -439,6 +449,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="print statistics of a hyperDAG file")
     p_info.add_argument("dag_file", help="hyperDAG file")
 
+    # check --------------------------------------------------------------
+    p_check = sub.add_parser(
+        "check",
+        help="run the project-specific static-analysis suite (repro.checks)",
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of grandfathered findings",
+    )
+    p_check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    p_check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    p_check.add_argument(
+        "--rules",
+        metavar="NAMES",
+        help="comma-separated subset of rules to run (see --list-rules)",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+
     return parser
 
 
@@ -472,7 +524,7 @@ def _command_schedule(args: argparse.Namespace) -> int:
         try:
             names = split_scheduler_list(args.schedulers)
         except ValueError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from exc
         if not names:
             raise SystemExit("--schedulers needs at least one scheduler name")
     else:
@@ -508,7 +560,7 @@ def _load_request_file(path: str) -> list:
     try:
         requests = api.load_requests(path)
     except (OSError, SpecError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     if not requests:
         raise SystemExit(f"no solve requests found in {path!r}")
     return requests
@@ -580,7 +632,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         host, port = server.start()
     except OSError as exc:
-        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from exc
     cache = str(server.cache.root) if server.cache is not None else "disabled"
     print(
         f"repro solve daemon listening on {host}:{port} "
@@ -605,7 +657,7 @@ def _command_submit(args: argparse.Namespace) -> int:
     try:
         client = connect(args.addr)
     except ServeError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
 
     # Stream result lines in request order as they arrive: results are
     # buffered only while an earlier request is still in flight.
@@ -625,7 +677,7 @@ def _command_submit(args: argparse.Namespace) -> int:
             requests, timeout=args.timeout, tolerant=True, on_result=emit
         )
     except ServeError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     finally:
         client.close()
         if args.out:
@@ -646,7 +698,7 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
             with connect(args.addr) as client:
                 stats = client.stats(disk=True)
         except ServeError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from exc
         cache = stats.get("cache")
         if not cache:
             print(f"daemon at {args.addr}: cache disabled")
@@ -697,7 +749,7 @@ def _command_repro(args: argparse.Namespace) -> int:
     try:
         tables = reproduce(args.target, scale=args.scale, jobs=args.jobs, seed=args.seed)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     for table in tables:
         print(table.to_markdown() if args.markdown else table.to_text())
         print()
@@ -745,7 +797,7 @@ def _command_portfolio_explain(args: argparse.Namespace) -> int:
     try:
         portfolio = make_scheduler(args.portfolio)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     if not isinstance(portfolio, PortfolioScheduler):
         raise SystemExit(f"--portfolio must name a portfolio spec, got {args.portfolio!r}")
 
@@ -799,6 +851,24 @@ def _command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    from .checks.runner import main as check_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return check_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``."""
     args = build_parser().parse_args(argv)
@@ -822,6 +892,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_generate(args)
     if args.command == "info":
         return _command_info(args)
+    if args.command == "check":
+        return _command_check(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

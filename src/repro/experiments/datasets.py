@@ -15,8 +15,7 @@ iterative kernel, plus coarse-grained instances — follow the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graphs.coarse import (
     coarse_bicgstab,
@@ -117,7 +116,7 @@ def fit_fine_grained(
     best: Optional[ComputationalDAG] = None
     best_err = float("inf")
     N = guess
-    for attempt in range(max_attempts):
+    for _attempt in range(max_attempts):
         if kind == "spmv":
             dag = spmv_dag(N, q=q, seed=seed, name=f"spmv_N{N}")
         elif kind == "exp":

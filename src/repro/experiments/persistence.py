@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Iterator, List, Union
 
 import numpy as np
 
+from ..graphs.dag import ComputationalDAG
 from ..model.comm import CommSchedule
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
-from ..graphs.dag import ComputationalDAG
 from .runner import ExperimentResult, InstanceResult
 
 __all__ = [

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
-from ..model.schedule import BspSchedule
+from ..model.schedule import BspSchedule, ScheduleValidationError
 from ..multilevel.scheduler import multilevel_schedule
 from ..pipeline.config import MultilevelConfig, PipelineConfig
 from ..pipeline.framework import run_pipeline
@@ -46,7 +46,6 @@ from ..registry import (
     make_scheduler,
     registry_name_for_label,
 )
-from ..model.schedule import ScheduleValidationError
 from ..scheduler import SchedulingError
 from ..spec import ProblemSpec, SolveRequest
 from .report import geometric_mean

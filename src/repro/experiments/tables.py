@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
 from ..pipeline.config import MultilevelConfig, PipelineConfig
-from .report import Table, format_percent, geometric_mean
+from .report import Table, format_percent
 from .runner import ExperimentResult, run_experiment, stage_ratio_summary
 
 __all__ = [

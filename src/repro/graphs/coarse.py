@@ -14,7 +14,7 @@ for source nodes), ``c(v) = 1`` for every node.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

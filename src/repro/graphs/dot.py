@@ -9,7 +9,7 @@ no Graphviz installation is required.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from .dag import ComputationalDAG
 

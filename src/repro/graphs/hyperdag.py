@@ -78,7 +78,7 @@ def dumps_hyperdag(dag: ComputationalDAG, comment: str = "") -> str:
     if comment:
         for c in comment.splitlines():
             lines.append(f"% {c}")
-    lines.append(f"% format: <hyperedges> <nodes> <pins>; pin lines; node weight lines")
+    lines.append("% format: <hyperedges> <nodes> <pins>; pin lines; node weight lines")
     lines.append(f"{len(hyperedges)} {dag.n} {num_pins}")
     for he_id, he in enumerate(hyperedges):
         for v in he:

@@ -15,7 +15,7 @@ yet assigned part of the) DAG and forms a new superstep from them:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -85,7 +85,6 @@ class SourceScheduler(Scheduler):
     @staticmethod
     def _cluster_initial_sources(dag: ComputationalDAG, sources: List[int]) -> List[List[int]]:
         """Group the initial sources: sources sharing a successor cluster together."""
-        source_set = set(sources)
         cluster_of: Dict[int, int] = {}
         clusters: List[List[int]] = []
 

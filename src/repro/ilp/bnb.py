@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

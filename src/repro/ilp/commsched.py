@@ -16,7 +16,7 @@ from typing import Dict, Optional, Tuple
 from ..model.comm import CommSchedule
 from ..model.schedule import BspSchedule
 from .model import IlpModel
-from .solver import SolverStatus, solve
+from .solver import solve
 
 __all__ = ["solve_comm_schedule_ilp", "CommScheduleIlpImprover"]
 

@@ -35,14 +35,14 @@ the ILP can never produce an invalid or mis-costed schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
-from .model import INF, IlpModel
+from .model import IlpModel
 from .solver import SolverResult
 
 __all__ = ["BspIlpFormulation", "build_bsp_ilp", "estimate_variable_count"]

@@ -8,15 +8,14 @@ schedules and is the strongest tool in the framework.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
-from ..scheduler import Scheduler, SchedulingError
+from ..scheduler import Scheduler
 from .formulation import build_bsp_ilp, estimate_variable_count
-from .solver import SolverResult, SolverStatus, solve
+from .solver import solve
 
 __all__ = ["IlpFullScheduler", "solve_full_ilp"]
 

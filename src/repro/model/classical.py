@@ -12,8 +12,8 @@ This module provides the :class:`ClassicalSchedule` container and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -16,7 +16,7 @@ communication-scheduling optimizers (HCcs and ILPcs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 __all__ = ["CommEntry", "CommSchedule"]
 

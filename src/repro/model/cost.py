@@ -23,7 +23,6 @@ scheduler and every experiment compares schedules through :func:`evaluate`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -10,9 +10,7 @@ scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List
 
 from .cost import evaluate
 from .schedule import BspSchedule

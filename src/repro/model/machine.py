@@ -24,7 +24,7 @@ carries that constraint; schedulers that are memory-aware consult it through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -66,7 +66,7 @@ class BspMachine:
                 bounds = np.full(self.P, float(bounds))
             if bounds.shape != (self.P,):
                 raise MachineValidationError(
-                    f"memory_bound must be a scalar or have one entry per processor "
+                    "memory_bound must be a scalar or have one entry per processor "
                     f"(P={self.P}), got shape {bounds.shape}"
                 )
             # Strictly positive so that 0 can unambiguously mean "unbounded"

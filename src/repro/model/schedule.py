@@ -15,13 +15,13 @@ explicit, optimized Gamma instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.dag import ComputationalDAG
-from .comm import CommEntry, CommSchedule
+from .comm import CommSchedule
 from .machine import MEMORY_EPS, BspMachine
 
 __all__ = ["BspSchedule", "ScheduleValidationError", "legalize_superstep_assignment"]

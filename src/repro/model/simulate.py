@@ -11,9 +11,7 @@ the total cost by construction of the model), and for exporting traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List
 
 from .cost import evaluate
 from .schedule import BspSchedule

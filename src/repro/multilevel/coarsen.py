@@ -16,7 +16,7 @@ can replay it in reverse and rebuild every intermediate coarse DAG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 

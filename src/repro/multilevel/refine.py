@@ -11,14 +11,14 @@ to the newly revealed structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..localsearch.hill_climbing import hill_climb
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule, legalize_superstep_assignment
-from .coarsen import CoarseningSequence, coarse_dag_from_partition
+from .coarsen import CoarseningSequence
 
 __all__ = ["project_schedule", "uncoarsen_and_refine"]
 

@@ -19,15 +19,14 @@ instead of the (generally infeasible) trivial sequential one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..graphs.dag import ComputationalDAG
 from ..ilp.commsched import CommScheduleIlpImprover
 from ..localsearch.comm_hill_climbing import comm_hill_climb
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
-from ..pipeline.config import MultilevelConfig, PipelineConfig
+from ..pipeline.config import MultilevelConfig
 from ..pipeline.framework import run_pipeline
 from ..scheduler import Scheduler, SchedulingError
 from .coarsen import coarsen_dag

@@ -331,7 +331,7 @@ def race(
     cost, schedule = best[winner]
     if schedule is None:
         raise SchedulingError(
-            f"no race candidate produced a valid schedule "
+            "no race candidate produced a valid schedule "
             f"(candidates: {', '.join(specs)})"
         )
     # A budget can expire with several survivors left: record the

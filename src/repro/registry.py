@@ -46,9 +46,9 @@ from .localsearch.schedulers import (
 )
 from .multilevel.scheduler import MultilevelScheduler
 from .pipeline.adaptive import AdaptiveScheduler
-from .portfolio.selector import PortfolioScheduler
 from .pipeline.config import MultilevelConfig, PipelineConfig
 from .pipeline.framework import FrameworkScheduler
+from .portfolio.selector import PortfolioScheduler
 from .scheduler import Scheduler
 
 __all__ = [

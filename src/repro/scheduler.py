@@ -11,7 +11,6 @@ benchmark harness uniform.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 from .graphs.dag import ComputationalDAG
 from .model.machine import BspMachine

@@ -212,14 +212,14 @@ class ServiceClient:
                     continue
                 raise ServiceUnavailable(
                     f"lost connection to {self.host}:{self.port} while sending"
-                )
+                ) from None
             try:
                 return self._recv()
             except (OSError, protocol.ProtocolError, ConnectionError) as exc:
                 self._reset()
                 raise ServiceUnavailable(
                     f"lost connection to {self.host}:{self.port} while waiting: {exc}"
-                )
+                ) from exc
         raise ServiceUnavailable(f"cannot reach {self.host}:{self.port}")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -289,7 +289,7 @@ class ServiceClient:
                 self._reset()
                 raise ServiceUnavailable(
                     f"lost connection to {self.host}:{self.port} mid-batch: {exc}"
-                )
+                ) from exc
             retry = []
             retry_after = 0.0
             while id_to_index:
@@ -299,7 +299,7 @@ class ServiceClient:
                     self._reset()
                     raise ServiceUnavailable(
                         f"lost connection to {self.host}:{self.port} mid-batch: {exc}"
-                    )
+                    ) from exc
                 index = id_to_index.pop(response.get("id"), None)
                 if index is None:
                     continue  # stale response from an abandoned wave

@@ -158,14 +158,19 @@ class WorkerPool:
     def start(self) -> None:
         if self._threads:
             return
-        self._accepting = True
         self._stopped.clear()
-        for k in range(self.jobs):
-            thread = threading.Thread(target=self._worker, name=f"repro-serve-worker-{k}", daemon=True)
+        workers = [
+            threading.Thread(target=self._worker, name=f"repro-serve-worker-{k}", daemon=True)
+            for k in range(self.jobs)
+        ]
+        monitor = threading.Thread(target=self._monitor_deadlines, name="repro-serve-deadline", daemon=True)
+        with self._lock:
+            self._accepting = True
+            self._threads = workers
+            self._monitor = monitor
+        for thread in workers:
             thread.start()
-            self._threads.append(thread)
-        self._monitor = threading.Thread(target=self._monitor_deadlines, name="repro-serve-deadline", daemon=True)
-        self._monitor.start()
+        monitor.start()
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Stop accepting, finish every queued/in-flight ticket, stop workers.
@@ -174,7 +179,8 @@ class WorkerPool:
         every request accepted before the drain began is answered before the
         workers exit — the graceful-shutdown contract of the daemon.
         """
-        self._accepting = False
+        with self._lock:
+            self._accepting = False
         if not self._threads:
             return
         for _ in self._threads:
@@ -187,7 +193,8 @@ class WorkerPool:
 
     def stop(self) -> None:
         """Hard stop: refuse queued tickets with ``shutting-down``, then exit."""
-        self._accepting = False
+        with self._lock:
+            self._accepting = False
         if not self._threads:
             return
         refused: List[Ticket] = []
@@ -208,10 +215,12 @@ class WorkerPool:
 
     def _finish_stop(self) -> None:
         self._stopped.set()
-        if self._monitor is not None:
-            self._monitor.join(timeout=1.0)
+        with self._lock:
+            monitor = self._monitor
             self._monitor = None
-        self._threads = []
+            self._threads = []
+        if monitor is not None:  # join outside the lock: the monitor takes it
+            monitor.join(timeout=1.0)
 
     # ------------------------------------------------------------------
     # Submission / backpressure
@@ -424,7 +433,9 @@ class WorkerPool:
         """Drop a finished ticket from the deadline watch list (lock held)."""
         if ticket.deadline is not None:
             try:
-                self._watched.remove(ticket)
+                # Every caller already holds self._lock (see the docstring);
+                # taking it here again would deadlock.
+                self._watched.remove(ticket)  # repro-check: disable=lock-discipline
             except ValueError:
                 pass
 

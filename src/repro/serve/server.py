@@ -108,8 +108,8 @@ class SolveServer:
     :meth:`run_forever`, which installs SIGTERM/SIGINT drain handlers).
     """
 
-    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config = config if config is not None else ServeConfig()
         root = config.cache_dir if config.cache_dir is not None else default_cache_dir()
         self.cache: Optional[SolutionCache] = (
             SolutionCache(root, max_memory_entries=config.lru_entries) if root else None
@@ -137,10 +137,12 @@ class SolveServer:
         self._tcp.server_activate()
         self.pool.start()
         self.started_at = time.monotonic()
-        self._serve_thread = threading.Thread(
+        accept_thread = threading.Thread(
             target=self._tcp.serve_forever, name="repro-serve-accept", daemon=True
         )
-        self._serve_thread.start()
+        with self._shutdown_lock:
+            self._serve_thread = accept_thread
+        accept_thread.start()
         return self.address
 
     @property
@@ -164,7 +166,8 @@ class SolveServer:
         self._tcp.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
-            self._serve_thread = None
+            with self._shutdown_lock:
+                self._serve_thread = None
 
     def run_forever(self) -> None:
         """Run until SIGTERM/SIGINT (or a ``shutdown`` message), then drain.

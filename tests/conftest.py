@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.graphs.coarse import coarse_conjugate_gradient, coarse_pagerank
+from repro.graphs.coarse import coarse_conjugate_gradient
 from repro.graphs.dag import ComputationalDAG
 from repro.graphs.fine import exp_dag, spmv_dag
 from repro.graphs.random import random_layered_dag

@@ -6,7 +6,6 @@ from repro.baselines.trivial import LevelRoundRobinScheduler
 from repro.graphs.dag import ComputationalDAG
 from repro.localsearch.annealing import SimulatedAnnealingImprover, simulated_annealing
 from repro.localsearch.hill_climbing import hill_climb
-from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 
 

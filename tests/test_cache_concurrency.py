@@ -19,8 +19,6 @@ import json
 import multiprocessing
 import threading
 
-import pytest
-
 from repro.api import solve, to_solve_result
 from repro.experiments.runner import WorkItem, execute_work_item_tolerant
 from repro.portfolio.cache import CACHE_FORMAT_VERSION, SolutionCache

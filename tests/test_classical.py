@@ -5,7 +5,6 @@ import pytest
 
 from repro.graphs.dag import ComputationalDAG
 from repro.model.classical import ClassicalSchedule, classical_to_bsp
-from repro.model.machine import BspMachine
 
 
 class TestClassicalSchedule:

@@ -1,6 +1,5 @@
 """Unit tests for the ComputationalDAG data structure."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.dag import ComputationalDAG, DagValidationError

@@ -1,6 +1,5 @@
 """Tests for the Graphviz DOT export of DAGs and schedules."""
 
-import pytest
 
 from repro.baselines.hdagg import HDaggScheduler
 from repro.graphs.dot import dag_to_dot, schedule_to_dot

@@ -1,19 +1,12 @@
 """Tests for the experiment harness: reporting, datasets, runner, tables."""
 
-import math
 
 import pytest
 
-from repro.experiments.datasets import (
-    DATASET_RANGES,
-    build_dataset,
-    build_training_set,
-    dataset_range,
-    fit_fine_grained,
-)
+from repro.experiments import tables as paper_tables
+from repro.experiments.datasets import build_dataset, build_training_set, dataset_range, fit_fine_grained
 from repro.experiments.report import Table, format_percent, geometric_mean, improvement
 from repro.experiments.runner import run_experiment, run_instance, stage_ratio_summary
-from repro.experiments import tables as paper_tables
 from repro.graphs.fine import spmv_dag
 from repro.model.machine import BspMachine
 from repro.pipeline.config import MultilevelConfig, PipelineConfig

@@ -7,7 +7,6 @@ from repro.baselines.cilk import CilkScheduler
 from repro.baselines.trivial import LevelRoundRobinScheduler
 from repro.graphs.dag import ComputationalDAG
 from repro.localsearch.hill_climbing import HillClimbingImprover, hill_climb
-from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 
 

@@ -13,7 +13,6 @@ from repro.ilp.formulation import build_bsp_ilp, estimate_variable_count
 from repro.ilp.full import IlpFullScheduler, solve_full_ilp
 from repro.ilp.init import IlpInitScheduler, topological_batches
 from repro.ilp.partial import PartialIlpImprover, superstep_windows
-from repro.ilp.solver import solve
 from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 

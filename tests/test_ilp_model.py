@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ilp.model import INF, IlpModel
+from repro.ilp.model import IlpModel
 
 
 class TestVariables:

@@ -15,7 +15,7 @@ from repro.graphs.coarse import coarse_pagerank
 from repro.graphs.dag import ComputationalDAG
 from repro.heuristics.bspg import BspGreedyScheduler
 from repro.ilp.formulation import build_bsp_ilp
-from repro.ilp.solver import SolverStatus, solve
+from repro.ilp.solver import solve
 from repro.model.machine import BspMachine
 
 

@@ -13,7 +13,6 @@ times, or the same :class:`~repro.scheduler.SchedulingError` outcome.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.list_schedulers import _list_schedule_reference, list_schedule

@@ -7,7 +7,6 @@ from repro.baselines.hdagg import HDaggScheduler
 from repro.baselines.trivial import LevelRoundRobinScheduler
 from repro.graphs.dag import ComputationalDAG
 from repro.localsearch.state import LocalSearchState
-from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 
 

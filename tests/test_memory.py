@@ -23,7 +23,6 @@ from repro.heuristics.bspg import BspGreedyScheduler
 from repro.localsearch.state import LocalSearchState
 from repro.model.machine import BspMachine, MachineValidationError
 from repro.model.schedule import BspSchedule, ScheduleValidationError
-from repro.pipeline.config import MultilevelConfig
 from repro.registry import make_scheduler, scheduler_info
 from repro.scheduler import SchedulingError
 from repro.spec import DagSpec, MachineSpec, ProblemSpec, SolveRequest, SpecError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.baselines.hdagg import HDaggScheduler
-from repro.graphs.dag import ComputationalDAG
 from repro.graphs.fine import exp_dag
 from repro.model.machine import BspMachine
 from repro.multilevel.coarsen import (

@@ -1,6 +1,5 @@
 """Tests for random sparsity patterns and random DAG generators."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.random import (

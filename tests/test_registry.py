@@ -4,7 +4,6 @@ import pytest
 
 from repro.model.machine import BspMachine
 from repro.registry import (
-    SCHEDULER_BUILDERS,
     TABLE_LABELS,
     available_schedulers,
     make_scheduler,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.graphs.dag import ComputationalDAG
-from repro.model.machine import BspMachine
 from repro.model.schedule import BspSchedule
 from repro.scheduler import Scheduler, SchedulingError
 

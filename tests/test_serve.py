@@ -15,7 +15,6 @@ schedulers registered here are visible to its workers.  Coverage:
 import io
 import json
 import socket
-import threading
 import time
 
 import pytest
