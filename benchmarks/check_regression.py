@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
-DEFAULT_BASELINE = os.path.join(BENCH_DIR, "baselines", "BENCH_pr7.json")
+DEFAULT_BASELINE = os.path.join(BENCH_DIR, "baselines", "BENCH_pr9.json")
 DEFAULT_TOLERANCE = 1.25
 
 

@@ -149,6 +149,8 @@ def solve_many(
     checkpoint: Optional[PathLike] = None,
     resume: bool = False,
     tolerant: bool = False,
+    queue_dir: Optional[PathLike] = None,
+    queue_timeout: Optional[float] = None,
 ) -> List[SolveResult]:
     """Solve a batch of requests, optionally in parallel and resumably.
 
@@ -164,7 +166,25 @@ def solve_many(
     unbuildable DAG spec) yields a result with ``valid=False`` and infinite
     cost instead of aborting the batch — the contract of the ``repro batch``
     subcommand, which reports such requests in its exit status.
+
+    With ``queue_dir`` the batch fans out over a shared-filesystem work
+    queue (:mod:`repro.distrib`): the requests are enqueued as task files
+    and this process participates as one inline worker, so the call always
+    completes on its own — while any number of additional ``repro worker``
+    processes on any hosts sharing the directory (and, via
+    ``REPRO_CACHE_DIR``, one solution cache) drain the same queue and
+    accelerate it.  Results are byte-identical to the non-queued path for
+    deterministic schedulers.  ``jobs``/``checkpoint``/``resume`` do not
+    apply to queued batches (checkpointing is subsumed by the queue's own
+    ``results/`` directory); ``queue_timeout`` bounds the wait for results
+    answered by external workers.
     """
+    if queue_dir is not None:
+        if checkpoint is not None or resume:
+            raise ValueError("queue_dir cannot be combined with checkpoint/resume")
+        return _solve_many_queued(
+            requests, queue_dir, tolerant=tolerant, timeout=queue_timeout
+        )
     items: List[WorkItem] = []
     broken: dict = {}
     for k, request in enumerate(requests):
@@ -212,6 +232,78 @@ def solve_many(
     }
     solved.update(broken)
     return [solved[k] for k in range(len(requests))]
+
+
+def _solve_many_queued(
+    requests: Sequence[SolveRequest],
+    queue_dir: PathLike,
+    *,
+    tolerant: bool,
+    timeout: Optional[float],
+    poll_interval: float = 0.05,
+) -> List[SolveResult]:
+    """Enqueue a batch and drain the queue inline until it is answered.
+
+    The claim protocol makes this cooperative by construction: this process
+    claims and solves tasks exactly like an external ``repro worker`` —
+    including tasks enqueued by *other* producers sharing the queue — and
+    between claims polls for its own results, which external workers may be
+    producing concurrently.
+    """
+    import time
+
+    from .distrib.queue import DirectoryQueue, QueueError
+    from .distrib.worker import solve_envelope
+
+    queue = DirectoryQueue(queue_dir)
+    ids = queue.enqueue(requests)
+    outcome: dict = {}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while len(outcome) < len(ids):
+        envelope = queue.claim_next()
+        if envelope is not None:
+            try:
+                result = solve_envelope(envelope)
+            except Exception as exc:  # mirror the worker's retry policy
+                queue.retry_or_fail(envelope, f"{type(exc).__name__}: {exc}")
+            else:
+                queue.complete(envelope, result)
+        progressed = False
+        for index, task_id in enumerate(ids):
+            if index in outcome:
+                continue
+            result = queue.load_result(task_id)
+            if result is not None:
+                outcome[index] = result
+                progressed = True
+                continue
+            error = queue.load_failure(task_id)
+            if error is not None:
+                if not tolerant:
+                    raise QueueError(f"request {index + 1} dead-lettered: {error}")
+                outcome[index] = broken_request_result(
+                    requests[index], RuntimeError(error)
+                )
+                progressed = True
+        if len(outcome) >= len(ids):
+            break
+        if envelope is None and not progressed:
+            if deadline is not None and time.monotonic() > deadline:
+                unanswered = [i + 1 for i in range(len(ids)) if i not in outcome]
+                raise QueueError(
+                    f"queued batch timed out after {timeout}s; "
+                    f"unanswered request(s): {unanswered[:10]}"
+                )
+            time.sleep(poll_interval)
+    results = [outcome[index] for index in range(len(ids))]
+    if not tolerant:
+        for index, result in enumerate(results):
+            if not result.valid:
+                raise RuntimeError(
+                    f"request {index + 1} failed on the queue: "
+                    f"{result.scheduler_description or 'invalid schedule'}"
+                )
+    return results
 
 
 def compare(

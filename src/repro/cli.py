@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro``.
 
-Eleven subcommands cover the workflows a downstream user needs most often —
+Fifteen subcommands cover the workflows a downstream user needs most often —
 one-shot solving (``schedule``, ``batch``), the persistent solve service
-(``serve``, ``submit``, ``cache-stats``), portfolio/registry introspection
-(``portfolio-explain``, ``list-schedulers``), instance tooling
-(``repro``, ``generate``, ``info``), and the repo's own static analysis
-(``check``):
+(``serve``, ``submit``), the distributed queue runner (``enqueue``,
+``worker``, ``collect``), solution-cache operations (``cache-stats``,
+``cache-gc``), portfolio/registry introspection (``portfolio-explain``,
+``list-schedulers``), instance tooling (``repro``, ``generate``, ``info``),
+and the repo's own static analysis (``check``):
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file, a generated instance, or
@@ -37,10 +38,37 @@ one-shot solving (``schedule``, ``batch``), the persistent solve service
     (``--addr host:port``) through the thin client, streaming result lines
     in request order; output and exit status mirror ``batch``.
 
+``enqueue``
+    Split a JSONL file of solve requests into task files on a shared
+    directory queue (:mod:`repro.distrib`), one atomic claimable envelope
+    per request, and write an ordered batch manifest for ``collect``.
+
+``worker``
+    Drain a directory queue: claim tasks via atomic rename, solve them
+    through the same tolerant path as ``batch`` (sharing the solution cache
+    via ``--cache-dir`` / ``REPRO_CACHE_DIR``), write results next to the
+    requests, retry machinery failures and dead-letter them after
+    ``--max-attempts``.  Exits when the queue is drained (or keeps polling
+    with ``--max-idle``).
+
+``collect``
+    Assemble the results of an enqueued batch (by manifest) into a JSONL
+    file in request order — byte-identical to what ``repro batch`` would
+    have produced for deterministic schedulers; optionally ``--wait`` for
+    workers that are still solving.
+
 ``cache-stats``
     Telemetry of a solution cache directory (entries, bytes, shards, LRU
     occupancy, per-session hit/miss counters) — or, with ``--addr``, the
     live counters of a running daemon's shared cache.
+
+``cache-gc``
+    Size-bounded eviction of a solution cache directory: delete the
+    least-recently-used entries (per-shard access journals provide the
+    ordering) until the directory fits ``--max-bytes`` / ``--max-entries``;
+    ``--dry-run`` previews.  The same eviction runs automatically on every
+    store of a cache constructed with budgets (or with
+    ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` set).
 
 ``portfolio-explain``
     Show what the portfolio subsystem sees for an instance: the extracted
@@ -88,6 +116,10 @@ Examples::
     python -m repro submit requests.jsonl --addr 127.0.0.1:7464 --out results.jsonl
     python -m repro cache-stats --cache-dir .cache
     python -m repro cache-stats --addr 127.0.0.1:7464
+    python -m repro cache-gc --cache-dir .cache --max-bytes 67108864
+    python -m repro enqueue requests.jsonl --queue /shared/q --manifest batch1
+    python -m repro worker /shared/q --cache-dir /shared/cache
+    python -m repro collect /shared/q batch1 --wait --out results.jsonl
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
     python -m repro check src tests benchmarks
@@ -372,6 +404,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall-clock seconds in every result (non-deterministic output)",
     )
 
+    # enqueue ------------------------------------------------------------
+    p_enq = sub.add_parser(
+        "enqueue",
+        help="enqueue a JSONL file of solve requests on a shared directory queue",
+    )
+    p_enq.add_argument("requests_file", help="JSONL file with one SolveRequest per line")
+    p_enq.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="queue directory (shared between producers and workers)",
+    )
+    p_enq.add_argument(
+        "--manifest",
+        metavar="NAME",
+        default=None,
+        help="manifest name for `repro collect` (default: a fresh batch id)",
+    )
+
+    # worker -------------------------------------------------------------
+    p_worker = sub.add_parser(
+        "worker",
+        help="drain a directory queue: claim, solve, answer (pull-based worker)",
+    )
+    p_worker.add_argument("queue_dir", help="queue directory to drain")
+    p_worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep polling this long after the queue empties "
+        "(default: 0 — exit as soon as a scan finds no work)",
+    )
+    p_worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between idle scans (default: 0.2)",
+    )
+    p_worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dead-letter a task after N failed attempts (default: 3)",
+    )
+    p_worker.add_argument(
+        "--recover-claimed",
+        action="store_true",
+        help="requeue stale claims of crashed workers before draining "
+        "(only safe when no other worker is live)",
+    )
+    _add_cache_argument(p_worker)
+
+    # collect ------------------------------------------------------------
+    p_collect = sub.add_parser(
+        "collect",
+        help="assemble the results of an enqueued batch into ordered JSONL",
+    )
+    p_collect.add_argument("queue_dir", help="queue directory of the batch")
+    p_collect.add_argument("manifest", help="manifest name printed by `repro enqueue`")
+    p_collect.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write results to this JSONL file (default: stdout)",
+    )
+    p_collect.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until every request of the batch is answered or dead-lettered",
+    )
+    p_collect.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after this long (with --wait)",
+    )
+    p_collect.add_argument(
+        "--timing",
+        action="store_true",
+        help="include wall-clock seconds in every result (non-deterministic output)",
+    )
+
     # cache-stats --------------------------------------------------------
     p_cache = sub.add_parser(
         "cache-stats",
@@ -384,6 +501,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a running solve daemon instead of walking a directory",
     )
     _add_cache_argument(p_cache)
+
+    # cache-gc -----------------------------------------------------------
+    p_gc = sub.add_parser(
+        "cache-gc",
+        help="evict least-recently-used solution-cache entries down to a budget",
+    )
+    _add_cache_argument(p_gc)
+    p_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget of the on-disk tier (default: $REPRO_CACHE_MAX_BYTES)",
+    )
+    p_gc.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry budget of the on-disk tier (default: $REPRO_CACHE_MAX_ENTRIES)",
+    )
+    p_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
 
     # portfolio-explain --------------------------------------------------
     p_explain = sub.add_parser(
@@ -736,6 +879,149 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache_gc(args: argparse.Namespace) -> int:
+    from .portfolio.cache import SolutionCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    if not root:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    cache = SolutionCache(root)
+    max_bytes = args.max_bytes if args.max_bytes is not None else cache.max_disk_bytes
+    max_entries = (
+        args.max_entries if args.max_entries is not None else cache.max_disk_entries
+    )
+    report = cache.evict(
+        max_bytes=max_bytes, max_entries=max_entries, dry_run=args.dry_run
+    )
+    budget = []
+    if max_bytes is not None:
+        budget.append(f"max-bytes={max_bytes}")
+    if max_entries is not None:
+        budget.append(f"max-entries={max_entries}")
+    mode = "dry run — would evict" if args.dry_run else "evicted"
+    print(
+        f"cache-gc {cache.root} ({', '.join(budget) if budget else 'no budget: compaction only'}):"
+    )
+    print(
+        f"  {mode} {report['evicted_entries']} entr{'y' if report['evicted_entries'] == 1 else 'ies'} "
+        f"({report['evicted_bytes']} bytes) of {report['scanned_entries']} "
+        f"({report['scanned_bytes']} bytes)"
+    )
+    print(
+        f"  remaining: {report['remaining_entries']} entries, {report['remaining_bytes']} bytes"
+    )
+    return 0
+
+
+def _command_enqueue(args: argparse.Namespace) -> int:
+    from .distrib.queue import DirectoryQueue
+
+    requests = _load_request_file(args.requests_file)
+    queue = DirectoryQueue(args.queue)
+    manifest = args.manifest
+    ids = queue.enqueue(requests)
+    if manifest is None:
+        manifest = ids[0].rsplit("-", 1)[0]  # the fresh batch token
+    queue.write_manifest(manifest, ids)
+    print(
+        f"enqueued {len(ids)} request(s) on {queue.root} (manifest: {manifest})",
+        file=sys.stderr,
+    )
+    print(manifest)
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .distrib.queue import DEFAULT_MAX_ATTEMPTS, DirectoryQueue
+    from .distrib.worker import run_worker
+
+    _apply_cache_dir(args)
+    queue = DirectoryQueue(args.queue_dir)
+    if args.recover_claimed:
+        recovered = queue.recover_claimed()
+        if recovered:
+            print(f"requeued {len(recovered)} stale claim(s)", file=sys.stderr)
+    stats = run_worker(
+        args.queue_dir,
+        max_idle=args.max_idle,
+        poll_interval=args.poll_interval,
+        max_attempts=(
+            args.max_attempts if args.max_attempts is not None else DEFAULT_MAX_ATTEMPTS
+        ),
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(
+        f"worker drained {queue.root}: answered {stats.answered} "
+        f"({stats.solved} ok, {stats.invalid} invalid), "
+        f"{stats.retried} retried, {stats.dead_lettered} dead-lettered"
+    )
+    return 0 if not stats.dead_lettered else 1
+
+
+def _command_collect(args: argparse.Namespace) -> int:
+    import time
+
+    from .distrib.queue import DirectoryQueue, QueueError
+
+    queue = DirectoryQueue(args.queue_dir)
+    try:
+        ids = queue.read_manifest(args.manifest)
+    except QueueError as exc:
+        raise SystemExit(str(exc)) from exc
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    results: dict = {}
+    failed: dict = {}
+    while True:
+        for task_id in ids:
+            if task_id in results or task_id in failed:
+                continue
+            result = queue.load_result(task_id)
+            if result is not None:
+                results[task_id] = result
+                continue
+            error = queue.load_failure(task_id)
+            if error is not None:
+                failed[task_id] = error
+        missing = [t for t in ids if t not in results and t not in failed]
+        if not missing or not args.wait:
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            raise SystemExit(
+                f"collect timed out: {len(missing)} of {len(ids)} request(s) unanswered"
+            )
+        time.sleep(0.2)
+    if missing:
+        raise SystemExit(
+            f"{len(missing)} of {len(ids)} request(s) unanswered "
+            "(workers still running? pass --wait)"
+        )
+    if failed:
+        lines = [f"  {task_id}: {error}" for task_id, error in sorted(failed.items())]
+        raise SystemExit(
+            f"{len(failed)} request(s) dead-lettered:\n" + "\n".join(lines)
+        )
+    handle = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for task_id in ids:
+            handle.write(results[task_id].to_json(timing=args.timing) + "\n")
+    finally:
+        if args.out:
+            handle.close()
+    if args.out:
+        print(
+            f"collected {len(ids)} result(s); wrote {args.out}",
+            file=sys.stderr,
+        )
+    invalid = sum(1 for task_id in ids if not results[task_id].valid)
+    print(
+        f"collect summary: {len(ids) - invalid}/{len(ids)} ok, {invalid} invalid",
+        file=sys.stderr,
+    )
+    return 1 if invalid else 0
+
+
 def _command_repro(args: argparse.Namespace) -> int:
     from .experiments.tables import REPRO_TARGETS, reproduce
 
@@ -882,6 +1168,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_submit(args)
     if args.command == "cache-stats":
         return _command_cache_stats(args)
+    if args.command == "cache-gc":
+        return _command_cache_gc(args)
+    if args.command == "enqueue":
+        return _command_enqueue(args)
+    if args.command == "worker":
+        return _command_worker(args)
+    if args.command == "collect":
+        return _command_collect(args)
     if args.command == "portfolio-explain":
         return _command_portfolio_explain(args)
     if args.command == "list-schedulers":

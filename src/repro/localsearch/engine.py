@@ -143,14 +143,32 @@ class IncrementalCostEngine:
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_rows(cells: Sequence[Cell]) -> None:
+        """Reject negative superstep rows before any matrix is touched.
+
+        A negative row would silently wrap the numpy cell write to the last
+        superstep while :meth:`refresh_rows` filters the same row out —
+        desynchronizing ``total_cost`` from the matrices with no error.
+        """
+        for cell in cells:
+            if cell[1] < 0:
+                raise ValueError(
+                    f"negative superstep row {cell[1]} in cell delta {cell!r}; "
+                    "rows must be >= 0"
+                )
+
     def apply_cells(self, cells: Sequence[Cell]) -> float:
         """Apply one transaction of cell deltas; return the new total cost.
 
         Each cell is ``(matrix, row, col, value)`` with ``matrix`` one of
         :data:`WORK` / :data:`SEND` / :data:`RECV`; ``value`` is added to the
-        cell.  The transaction is journaled for :meth:`undo`.
+        cell.  The transaction is journaled for :meth:`undo`.  A cell with a
+        negative ``row`` raises :class:`ValueError` and leaves the engine
+        untouched.
         """
         if cells:
+            self._check_rows(cells)
             self.ensure_capacity(max(cell[1] for cell in cells))
         mats = self.mats
         for mat, row, col, val in cells:
@@ -183,10 +201,13 @@ class IncrementalCostEngine:
 
         The affected rows are copied, the deltas scattered into the copies,
         and only those rows re-costed — the superstep matrices are never
-        rebuilt and the engine state is unchanged.
+        rebuilt and the engine state is unchanged.  A cell with a negative
+        ``row`` raises :class:`ValueError` (the same contract as
+        :meth:`apply_cells`, instead of an incidental ``KeyError``).
         """
         if not cells:
             return 0.0
+        self._check_rows(cells)
         self.ensure_capacity(max(cell[1] for cell in cells))
         rows = np.unique(np.fromiter((cell[1] for cell in cells), dtype=np.int64))
         rows = rows[(rows >= 0) & (rows < self.S)]

@@ -210,7 +210,11 @@ def instance_signature(dag: ComputationalDAG, machine: BspMachine) -> str:
 
     def _array(values) -> None:
         contiguous = np.ascontiguousarray(values)
+        # The dtype must participate: an int64 and a float64 array with the
+        # same shape can share a byte pattern (all-zero weights do), and
+        # dtype changes what a scheduler computes from those bytes.
         digest.update(str(contiguous.shape).encode() + b":")
+        digest.update(contiguous.dtype.str.encode() + b":")
         digest.update(contiguous.tobytes() + b"|")
 
     _text(dag.name)

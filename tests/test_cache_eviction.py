@@ -1,0 +1,266 @@
+"""Size-bounded eviction of the on-disk SolutionCache tier.
+
+Covers the eviction contract (budgets enforced on put and via
+:meth:`SolutionCache.evict`, LRU ordering derived from the per-shard access
+journals, journal compaction, dry runs, the ``repro cache-gc`` subcommand)
+and the ``disk_stats`` stray-directory regression.
+"""
+
+import json
+
+import pytest
+
+from repro.api import to_solve_result
+from repro.cli import main as cli_main
+from repro.experiments.runner import WorkItem, execute_work_item_tolerant
+from repro.portfolio.cache import JOURNAL_NAME, SolutionCache
+from repro.portfolio.features import instance_signature
+from repro.spec import DagSpec, MachineSpec, ProblemSpec, SolveRequest
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One deterministic solved instance: (signature, result, schedule)."""
+    request = SolveRequest(
+        spec=ProblemSpec(
+            dag=DagSpec.generator("spmv", n=8, q=0.3, seed=5),
+            machine=MachineSpec(P=2, g=2, l=3),
+        ),
+        scheduler="etf",
+    )
+    item = WorkItem.from_request(request, keep_schedule=True)
+    outcome = execute_work_item_tolerant(item)
+    assert outcome.valid and outcome.schedule is not None
+    return (
+        instance_signature(item.dag, item.machine),
+        to_solve_result(item, outcome),
+        outcome.schedule,
+    )
+
+
+def fill(cache, solved, specs, signature=None):
+    """Store one entry per scheduler-spec string (distinct keys, one shard)."""
+    sig, result, schedule = solved
+    sig = signature or sig
+    for spec in specs:
+        cache.put(sig, spec, None, result, schedule)
+    return sig
+
+
+class TestDiskStats:
+    def test_stray_directories_do_not_count_as_shards(self, tmp_path, solved):
+        """Regression: ``shards`` counted every subdirectory, committed
+        entries or not, so editor droppings inflated ``repro cache-stats``."""
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, ["etf"])
+        (cache.root / "stray").mkdir()  # empty non-shard directory
+        noise = cache.root / "zz"
+        noise.mkdir()
+        (noise / "README.txt").write_text("not a cache entry")
+        stats = cache.disk_stats()
+        assert stats == {"entries": 1, "bytes": stats["bytes"], "shards": 1}
+        assert stats["bytes"] > 0
+
+    def test_journal_files_are_not_entries(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache")
+        sig = fill(cache, solved, ["a", "b"])
+        assert (cache.root / sig[:2] / JOURNAL_NAME).exists()
+        assert cache.disk_stats()["entries"] == 2
+
+
+class TestEviction:
+    def test_put_enforces_entry_budget(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache", max_disk_entries=3)
+        fill(cache, solved, [f"s{k}" for k in range(6)])
+        assert cache.disk_stats()["entries"] <= 3
+        assert cache.evictions >= 3
+        # The newest entries survive; the oldest are gone.  Read through a
+        # fresh instance so hits must come from disk, not the memory LRU.
+        sig, result, _ = solved
+        fresh = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        assert fresh.get(sig, "s5", None) is not None
+        assert fresh.get(sig, "s0", None) is None
+
+    def test_put_enforces_byte_budget(self, tmp_path, solved):
+        probe = SolutionCache(tmp_path / "probe")
+        sig, result, schedule = solved
+        entry_bytes = probe.put(sig, "probe", None, result, schedule).stat().st_size
+        budget = int(entry_bytes * 2.5)
+        cache = SolutionCache(tmp_path / "cache", max_disk_bytes=budget)
+        fill(cache, solved, [f"s{k}" for k in range(5)])
+        stats = cache.disk_stats()
+        assert stats["bytes"] <= budget
+        assert 1 <= stats["entries"] <= 2
+
+    def test_byte_budget_always_admits_the_newest_entry(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache", max_disk_bytes=1)
+        sig = fill(cache, solved, ["only"])
+        assert cache.disk_stats()["entries"] == 1
+        fresh = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        assert fresh.get(sig, "only", None) is not None
+
+    def test_journal_access_keeps_hot_entries(self, tmp_path, solved):
+        """A disk read refreshes an entry's LRU position: the oldest-stored
+        but recently-read entry outlives a younger never-read one."""
+        sig, result, schedule = solved
+        cache = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        fill(cache, solved, ["a", "b", "c"])
+        assert cache.get(sig, "a", None) is not None  # refresh "a" on disk
+        cache.max_disk_entries = 3
+        cache.put(sig, "d", None, result, schedule)  # over budget: evict one
+        fresh = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        assert fresh.get(sig, "a", None) is not None, "recently read must survive"
+        assert fresh.get(sig, "b", None) is None, "coldest entry must be evicted"
+        assert fresh.get(sig, "d", None) is not None
+
+    def test_surviving_entries_serve_identical_bytes(self, tmp_path, solved):
+        sig, result, _ = solved
+        cache = SolutionCache(tmp_path / "cache", max_disk_entries=2)
+        fill(cache, solved, [f"s{k}" for k in range(5)])
+        fresh = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        survivors = [
+            spec for spec in (f"s{k}" for k in range(5))
+            if fresh.get(sig, spec, None) is not None
+        ]
+        assert survivors, "the budget keeps at least the newest entries"
+        for spec in survivors:
+            entry = fresh.get(sig, spec, None)
+            assert entry is not None and entry.result is not None
+            assert entry.result.to_json() == result.to_json()
+
+    def test_evict_dry_run_deletes_nothing(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, [f"s{k}" for k in range(4)])
+        report = cache.evict(max_entries=1, dry_run=True)
+        assert report["evicted_entries"] == 3
+        assert report["remaining_entries"] == 1
+        assert cache.disk_stats()["entries"] == 4, "dry run must not delete"
+        assert cache.evictions == 0
+
+    def test_evict_report_is_consistent(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, [f"s{k}" for k in range(4)])
+        before = cache.disk_stats()
+        report = cache.evict(max_entries=2)
+        assert report["scanned_entries"] == 4
+        assert report["scanned_bytes"] == before["bytes"]
+        assert report["evicted_entries"] == 2
+        assert report["remaining_entries"] == 2
+        after = cache.disk_stats()
+        assert after["entries"] == 2
+        assert after["bytes"] == report["remaining_bytes"]
+        assert cache.stats()["evictions"] == 2
+
+    def test_unbounded_cache_never_evicts(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, [f"s{k}" for k in range(6)])
+        assert cache.disk_stats()["entries"] == 6
+        assert cache.evictions == 0
+
+    def test_env_knobs_bound_the_cache(self, tmp_path, solved, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "2")
+        cache = SolutionCache(tmp_path / "cache")
+        assert cache.max_disk_entries == 2
+        fill(cache, solved, [f"s{k}" for k in range(4)])
+        assert cache.disk_stats()["entries"] <= 2
+
+    def test_multiple_shards_evict_coldest_globally(self, tmp_path, solved):
+        sig, result, schedule = solved
+        other_sig = ("00" if sig[:2] != "00" else "ff") + sig[2:]
+        cache = SolutionCache(tmp_path / "cache")
+        cache.put(sig, "old", None, result, schedule)
+        cache.put(other_sig, "new", None, result, schedule)
+        report = cache.evict(max_entries=1)
+        assert report["remaining_entries"] == 1
+        fresh = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        assert fresh.get(other_sig, "new", None) is not None
+        assert fresh.get(sig, "old", None) is None
+
+
+class TestJournal:
+    def test_journal_compaction_bounds_the_file(self, tmp_path, solved, monkeypatch):
+        import repro.portfolio.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "JOURNAL_COMPACT_BYTES", 400)
+        cache = SolutionCache(tmp_path / "cache", max_memory_entries=0)
+        sig = fill(cache, solved, ["a", "b"])
+        for _ in range(40):  # disk reads append; compaction keeps it bounded
+            cache.get(sig, "a", None)
+            cache.get(sig, "b", None)
+        journal = cache.root / sig[:2] / JOURNAL_NAME
+        assert journal.stat().st_size <= 400 + 2 * 65
+        lines = [line for line in journal.read_text().splitlines() if line]
+        assert len(set(lines)) <= 2
+
+    def test_compaction_drops_evicted_keys(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache")
+        sig = fill(cache, solved, ["a", "b", "c"])
+        cache.evict(max_entries=1)
+        journal = cache.root / sig[:2] / JOURNAL_NAME
+        lines = set(journal.read_text().splitlines())
+        live = {p.stem for p in (cache.root / sig[:2]).glob("*.json")}
+        assert lines <= live
+        assert len(live) == 1
+
+    def test_missing_journal_still_evicts_deterministically(self, tmp_path, solved):
+        sig, result, schedule = solved
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, ["a", "b", "c"])
+        (cache.root / sig[:2] / JOURNAL_NAME).unlink()
+        report = cache.evict(max_entries=1)
+        assert report["remaining_entries"] == 1
+        # No access order left: ties break on the key, so two runs of the
+        # same eviction agree on the survivor.
+        survivors = sorted(p.stem for p in (cache.root / sig[:2]).glob("*.json"))
+        assert len(survivors) == 1
+
+
+class TestCacheGcCli:
+    def test_cache_gc_enforces_budget(self, tmp_path, solved, capsys):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, [f"s{k}" for k in range(4)])
+        rc = cli_main(
+            ["cache-gc", "--cache-dir", str(cache.root), "--max-entries", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted 3 entries" in out
+        assert SolutionCache(cache.root).disk_stats()["entries"] == 1
+
+    def test_cache_gc_dry_run(self, tmp_path, solved, capsys):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, ["a", "b"])
+        rc = cli_main(
+            [
+                "cache-gc",
+                "--cache-dir",
+                str(cache.root),
+                "--max-entries",
+                "1",
+                "--dry-run",
+            ]
+        )
+        assert rc == 0
+        assert "dry run" in capsys.readouterr().out
+        assert SolutionCache(cache.root).disk_stats()["entries"] == 2
+
+    def test_cache_gc_without_directory_fails(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="no cache directory"):
+            cli_main(["cache-gc"])
+
+    def test_cache_stats_reports_eviction_counter(self, tmp_path, solved, capsys):
+        cache = SolutionCache(tmp_path / "cache")
+        fill(cache, solved, ["a"])
+        rc = cli_main(["cache-stats", "--cache-dir", str(cache.root)])
+        assert rc == 0
+        assert "evictions" in capsys.readouterr().out
+
+
+class TestEvictedEntryPayloads:
+    def test_survivor_files_are_intact_json(self, tmp_path, solved):
+        cache = SolutionCache(tmp_path / "cache", max_disk_entries=2)
+        fill(cache, solved, [f"s{k}" for k in range(5)])
+        for path in sorted(cache.root.glob("*/*.json")):
+            payload = json.loads(path.read_text())
+            assert payload["key"] == path.stem

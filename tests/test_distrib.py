@@ -1,0 +1,308 @@
+"""The pull-based distributed batch runner.
+
+Contract under test (ISSUE 9 tentpole b):
+
+* ``enqueue`` serializes requests into ``pending/`` envelopes; a claim is a
+  single atomic ``os.rename`` into ``claimed/`` — exactly one racing worker
+  wins,
+* a worker answers every claim with byte-for-byte the result ``repro batch``
+  would have produced (scheduler failures are *answered* invalid results,
+  machinery failures are retried and dead-lettered after ``max_attempts``),
+* ``solve_many(queue_dir=...)`` fans a batch out through the queue and
+  returns results identical to the in-process path,
+* crash recovery: stuck claims can be requeued and answered exactly once.
+
+Multiprocess workers are module-level functions so they survive any
+multiprocessing start method.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.api import solve_many
+from repro.cli import main as cli_main
+from repro.distrib import (
+    DEFAULT_MAX_ATTEMPTS,
+    DirectoryQueue,
+    Envelope,
+    QueueError,
+    run_worker,
+    solve_envelope,
+)
+from repro.spec import DagSpec, MachineSpec, ProblemSpec, SolveRequest
+
+
+def request_for(seed: int, scheduler: str = "etf") -> SolveRequest:
+    return SolveRequest(
+        spec=ProblemSpec(
+            dag=DagSpec.generator("spmv", n=8, q=0.3, seed=seed),
+            machine=MachineSpec(P=2, g=2, l=3),
+        ),
+        scheduler=scheduler,
+    )
+
+
+def _drain(queue_dir: str) -> dict:
+    """Module-level worker entry point for multiprocessing."""
+    stats = run_worker(queue_dir)
+    return {
+        "solved": stats.solved,
+        "invalid": stats.invalid,
+        "answered": stats.answered,
+        "dead_lettered": stats.dead_lettered,
+    }
+
+
+class TestQueueMechanics:
+    def test_enqueue_creates_layout_and_pending_envelopes(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        ids = queue.enqueue([request_for(0), request_for(1)], manifest="batch")
+        assert len(ids) == 2 and len(set(ids)) == 2
+        assert queue.pending_ids() == sorted(ids)
+        assert queue.counts() == {"pending": 2, "claimed": 0, "results": 0, "failed": 0}
+        assert queue.read_manifest("batch") == ids
+        payload = json.loads((queue.pending_dir / f"{ids[0]}.json").read_text())
+        assert payload["id"] == ids[0]
+        assert payload["attempts"] == 0
+        assert SolveRequest.from_dict(payload["request"]) == request_for(0)
+
+    def test_ids_preserve_request_order(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        ids = queue.enqueue([request_for(seed) for seed in range(12)])
+        assert ids == sorted(ids), "sorted claim order must equal request order"
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        (task_id,) = queue.enqueue([request_for(0)])
+        first = queue.claim(task_id)
+        assert first is not None and first.id == task_id
+        assert queue.claim(task_id) is None, "second claimant must lose"
+        assert queue.pending_ids() == []
+        assert queue.counts()["claimed"] == 1
+
+    def test_complete_commits_result_before_releasing_claim(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        (task_id,) = queue.enqueue([request_for(0)])
+        envelope = queue.claim(task_id)
+        result = solve_envelope(envelope)
+        queue.complete(envelope, result)
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 1, "failed": 0}
+        loaded = queue.load_result(task_id)
+        assert loaded is not None
+        assert loaded.to_json() == result.to_json()
+
+    def test_corrupt_envelope_is_dead_lettered_not_wedged(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        queue.ensure_layout()
+        (queue.pending_dir / "poison.json").write_text("{not json")
+        assert queue.claim("poison") is None
+        assert queue.counts()["failed"] == 1
+        assert "unreadable envelope" in queue.load_failure("poison")
+        # The poisoned file no longer blocks claim_next for real work.
+        queue.enqueue([request_for(0)])
+        assert queue.claim_next() is not None
+
+    def test_retry_bumps_attempts_then_dead_letters(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        (task_id,) = queue.enqueue([request_for(0)])
+        envelope = queue.claim(task_id)
+        assert queue.retry_or_fail(envelope, "boom", max_attempts=2) is True
+        assert queue.counts()["pending"] == 1 and queue.counts()["claimed"] == 0
+        retried = queue.claim(task_id)
+        assert retried is not None and retried.attempts == 1
+        assert queue.retry_or_fail(retried, "boom again", max_attempts=2) is False
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 0, "failed": 1}
+        assert "boom again" in queue.load_failure(task_id)
+
+    def test_recover_claimed_requeues_stuck_tasks(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        ids = queue.enqueue([request_for(0), request_for(1)])
+        assert queue.claim(ids[0]) is not None  # claimant "crashes" here
+        recovered = queue.recover_claimed()
+        assert recovered == [ids[0]]
+        assert queue.pending_ids() == sorted(ids)
+        stats = run_worker(queue.root)
+        assert stats.answered == 2 and stats.dead_lettered == 0
+
+
+class TestWorker:
+    def test_worker_drains_queue_and_matches_solve_many(self, tmp_path):
+        requests = [request_for(seed) for seed in range(4)]
+        queue = DirectoryQueue(tmp_path / "q")
+        ids = queue.enqueue(requests)
+        stats = run_worker(queue.root)
+        assert stats.answered == 4
+        assert stats.solved == 4 and stats.invalid == 0
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 4, "failed": 0}
+        direct = solve_many(requests)
+        for task_id, expected in zip(ids, direct):
+            assert queue.load_result(task_id).to_json() == expected.to_json()
+
+    def test_scheduler_failure_is_answered_invalid_not_retried(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        (task_id,) = queue.enqueue([request_for(0, scheduler="no-such-scheduler")])
+        stats = run_worker(queue.root)
+        assert stats.invalid == 1 and stats.dead_lettered == 0 and stats.retried == 0
+        answered = queue.load_result(task_id)
+        assert answered is not None and not answered.valid
+        (expected,) = solve_many(
+            [request_for(0, scheduler="no-such-scheduler")], tolerant=True
+        )
+        assert answered.to_json() == expected.to_json()
+
+    def test_machinery_failure_retries_then_dead_letters(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        (task_id,) = queue.enqueue([request_for(0)])
+
+        def exploding_solver(envelope: Envelope) -> object:
+            raise RuntimeError("worker machinery exploded")
+
+        stats = run_worker(queue.root, solver=exploding_solver, max_attempts=2)
+        assert stats.retried == 1
+        assert stats.dead_lettered == 1
+        assert stats.answered == 0
+        assert "machinery exploded" in queue.load_failure(task_id)
+        assert queue.counts()["pending"] == 0 and queue.counts()["claimed"] == 0
+
+    def test_default_max_attempts_is_three(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        queue.enqueue([request_for(0)])
+
+        def exploding_solver(envelope: Envelope) -> object:
+            raise RuntimeError("boom")
+
+        stats = run_worker(queue.root, solver=exploding_solver)
+        assert DEFAULT_MAX_ATTEMPTS == 3
+        assert stats.retried == 2 and stats.dead_lettered == 1
+
+    def test_max_tasks_bounds_the_drain(self, tmp_path):
+        queue = DirectoryQueue(tmp_path / "q")
+        queue.enqueue([request_for(seed) for seed in range(3)])
+        stats = run_worker(queue.root, max_tasks=2)
+        assert stats.answered == 2
+        assert queue.counts()["pending"] == 1
+
+    def test_concurrent_workers_answer_each_task_exactly_once(self, tmp_path):
+        requests = [request_for(seed) for seed in range(8)]
+        queue = DirectoryQueue(tmp_path / "q")
+        ids = queue.enqueue(requests)
+        with multiprocessing.Pool(3) as pool:
+            stats = [
+                r.get(timeout=300)
+                for r in [
+                    pool.apply_async(_drain, (str(queue.root),)) for _ in range(3)
+                ]
+            ]
+        # Exactly-once: the per-worker answer counts sum to the batch size.
+        assert sum(s["answered"] for s in stats) == len(requests)
+        assert sum(s["dead_lettered"] for s in stats) == 0
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 8, "failed": 0}
+        direct = solve_many(requests)
+        for task_id, expected in zip(ids, direct):
+            assert queue.load_result(task_id).to_json() == expected.to_json()
+
+
+class TestSolveManyQueued:
+    def test_queue_dir_results_identical_to_direct(self, tmp_path):
+        requests = [request_for(seed) for seed in range(4)]
+        queued = solve_many(requests, queue_dir=tmp_path / "q", queue_timeout=120)
+        direct = solve_many(requests)
+        assert [r.to_json() for r in queued] == [r.to_json() for r in direct]
+
+    def test_queue_dir_tolerant_matches_direct_tolerant(self, tmp_path):
+        requests = [request_for(0), request_for(1, scheduler="no-such-scheduler")]
+        queued = solve_many(
+            requests, tolerant=True, queue_dir=tmp_path / "q", queue_timeout=120
+        )
+        direct = solve_many(requests, tolerant=True)
+        assert [r.to_json() for r in queued] == [r.to_json() for r in direct]
+        assert queued[0].valid and not queued[1].valid
+
+    def test_queue_dir_strict_raises_on_invalid(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            solve_many(
+                [request_for(0, scheduler="no-such-scheduler")],
+                queue_dir=tmp_path / "q",
+                queue_timeout=120,
+            )
+
+    def test_queue_dir_rejects_checkpointing(self, tmp_path):
+        with pytest.raises(ValueError, match="queue_dir"):
+            solve_many(
+                [request_for(0)],
+                queue_dir=tmp_path / "q",
+                checkpoint=tmp_path / "ckpt.jsonl",
+            )
+
+    def test_dead_letter_raises_queue_error_in_strict_mode(self, tmp_path, monkeypatch):
+        import repro.distrib.worker as worker_mod
+
+        def exploding_solver(envelope: Envelope) -> object:
+            raise RuntimeError("host lost")
+
+        monkeypatch.setattr(worker_mod, "solve_envelope", exploding_solver)
+        with pytest.raises(QueueError, match="dead-lettered.*host lost"):
+            solve_many([request_for(0)], queue_dir=tmp_path / "q", queue_timeout=120)
+
+    def test_dead_letter_maps_to_invalid_result_in_tolerant_mode(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.distrib.worker as worker_mod
+
+        def exploding_solver(envelope: Envelope) -> object:
+            raise RuntimeError("host lost")
+
+        monkeypatch.setattr(worker_mod, "solve_envelope", exploding_solver)
+        (result,) = solve_many(
+            [request_for(0)], tolerant=True, queue_dir=tmp_path / "q", queue_timeout=120
+        )
+        assert not result.valid
+        assert "host lost" in (result.scheduler_description or "")
+
+
+class TestDistribCli:
+    def test_enqueue_worker_collect_round_trip_matches_batch(self, tmp_path, capsys):
+        requests = [request_for(seed) for seed in range(3)]
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            "".join(json.dumps(r.to_dict()) + "\n" for r in requests)
+        )
+        batch_out = tmp_path / "batch.jsonl"
+        assert cli_main(["batch", str(requests_file), "--out", str(batch_out)]) == 0
+        queue_dir = tmp_path / "q"
+        assert (
+            cli_main(
+                [
+                    "enqueue",
+                    str(requests_file),
+                    "--queue",
+                    str(queue_dir),
+                    "--manifest",
+                    "m1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli_main(["worker", str(queue_dir)]) == 0
+        collected = tmp_path / "collected.jsonl"
+        assert (
+            cli_main(["collect", str(queue_dir), "m1", "--out", str(collected)]) == 0
+        )
+        assert collected.read_bytes() == batch_out.read_bytes()
+
+    def test_worker_exit_code_reflects_dead_letters(self, tmp_path, capsys):
+        queue = DirectoryQueue(tmp_path / "q")
+        queue.ensure_layout()
+        (queue.pending_dir / "poison.json").write_text("{not json")
+        assert cli_main(["worker", str(queue.root)]) == 1
+
+    def test_collect_fails_on_missing_results(self, tmp_path, capsys):
+        queue = DirectoryQueue(tmp_path / "q")
+        queue.enqueue([request_for(0)], manifest="m1")
+        with pytest.raises(SystemExit, match="unanswered"):
+            cli_main(
+                ["collect", str(queue.root), "m1", "--out", str(tmp_path / "out.jsonl")]
+            )

@@ -128,3 +128,50 @@ class TestEngineMatchesReferenceKernels:
         assert engine.S >= 26
         assert engine.total_cost == before
         assert engine.total_cost == pytest.approx(engine.recompute_total())
+
+
+class TestNegativeRowValidation:
+    """Regression: a negative row must raise, not wrap to the last superstep.
+
+    numpy indexing would silently apply the delta to row ``S - 1`` while
+    ``refresh_rows`` filters negatives out — leaving ``total_cost`` stale
+    relative to the matrices, the exact desynchronization the incremental
+    engine exists to prevent (and ``probe_cells`` raised an incidental
+    ``KeyError`` on the same input).
+    """
+
+    def _engine(self) -> IncrementalCostEngine:
+        return IncrementalCostEngine(
+            np.ones((3, 2)), np.zeros((3, 2)), np.zeros((3, 2)), 1.0, 2.0
+        )
+
+    def test_apply_cells_rejects_negative_row_and_stays_consistent(self):
+        engine = self._engine()
+        mats_before = engine.mats.copy()
+        total_before = engine.total_cost
+        depth_before = engine.journal_depth
+        with pytest.raises(ValueError, match="negative superstep row"):
+            engine.apply_cells([(WORK, 1, 0, 2.0), (SEND, -1, 0, 5.0)])
+        # The failed transaction must leave no trace: no matrix write, no
+        # journal entry, totals still equal to a from-scratch recompute.
+        assert np.array_equal(engine.mats, mats_before)
+        assert engine.total_cost == total_before
+        assert engine.journal_depth == depth_before
+        assert engine.total_cost == pytest.approx(engine.recompute_total())
+
+    def test_probe_cells_raises_value_error_not_key_error(self):
+        engine = self._engine()
+        with pytest.raises(ValueError, match="negative superstep row"):
+            engine.probe_cells([(RECV, -2, 1, 1.0)])
+        # Valid probes still work after the rejected one.
+        assert engine.probe_cells([(WORK, 0, 0, 1.0)]) == pytest.approx(1.0)
+
+    def test_undo_unaffected_by_rejected_transaction(self):
+        engine = self._engine()
+        engine.apply_cells([(WORK, 0, 0, 4.0)])
+        with pytest.raises(ValueError):
+            engine.apply_cells([(WORK, -1, 0, 1.0)])
+        engine.undo()  # undoes the *valid* transaction, nothing else
+        assert engine.total_cost == pytest.approx(engine.recompute_total())
+        with pytest.raises(IndexError):
+            engine.undo()

@@ -85,6 +85,38 @@ class TestSignature:
         heavier.work = np.asarray(heavier.work) * 2
         assert instance_signature(heavier, machine) != sig
 
+    def test_signature_sensitive_to_dtype(self):
+        """Regression: arrays with identical bytes but different dtypes must
+        not alias (an all-zero int64 and float64 array share a byte pattern,
+        but schedulers see different values)."""
+        from types import SimpleNamespace
+
+        def fake_instance(weight_dtype):
+            dag = SimpleNamespace(
+                name="alias",
+                n=4,
+                edge_sources=np.array([0, 1], dtype=np.int64),
+                edge_targets=np.array([1, 2], dtype=np.int64),
+                work=np.zeros(4, dtype=weight_dtype),
+                comm=np.zeros(4, dtype=np.int64),
+                memory=np.zeros(4, dtype=np.int64),
+            )
+            machine = SimpleNamespace(
+                P=2, g=1.0, l=2.0, numa=np.ones((2, 2)), memory_bounds=None
+            )
+            return dag, machine
+
+        int_dag, int_machine = fake_instance(np.int64)
+        float_dag, float_machine = fake_instance(np.float64)
+        assert int_dag.work.tobytes() == float_dag.work.tobytes()  # the trap
+        assert instance_signature(int_dag, int_machine) != instance_signature(
+            float_dag, float_machine
+        )
+        # Same dtype still hashes stably.
+        assert instance_signature(int_dag, int_machine) == instance_signature(
+            *fake_instance(np.int64)
+        )
+
 
 class TestRules:
     def test_memory_bounded_instances_get_memory_aware_scheduler(self, instance):
