@@ -16,6 +16,18 @@ Usage::
 Only benchmarks present in *both* payloads are compared, so adding or
 removing a benchmark never trips the gate by itself; the report lists the
 unmatched names so silent coverage loss is at least visible.
+
+A second, much tighter gate guards the observability layer's disabled-path
+overhead: ``--overhead-suite bench_obs`` joins the current payload's
+``bench_obs`` benchmarks (the instrumented hot paths with the tracer off)
+against the same-named benchmarks of ``--overhead-against bench_core_micro``
+in the *baseline* payload (recorded before the instrumentation existed).
+That ratio isolates what the dormant hooks cost, so its tolerance is 2%
+(``--overhead-tolerance 1.02``) and it gates on ``min_s`` — the minimum
+over rounds is far less noisy than the mean at a 2% resolution::
+
+    python benchmarks/check_regression.py BENCH_ci.json \
+        --overhead-suite bench_obs --overhead-against bench_core_micro
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 DEFAULT_BASELINE = os.path.join(BENCH_DIR, "baselines", "BENCH_pr9.json")
 DEFAULT_TOLERANCE = 1.25
+DEFAULT_OVERHEAD_TOLERANCE = 1.02
 
 
 def flatten(payload: dict) -> Dict[Tuple[str, str], float]:
@@ -64,6 +77,42 @@ def compare(
     return geomean, rows, unmatched
 
 
+def compare_overhead(
+    baseline: dict,
+    current: dict,
+    *,
+    overhead_suite: str,
+    against_suite: str,
+) -> Tuple[float, List[Tuple[str, float, float, float]]]:
+    """Geomean of current[overhead_suite] / baseline[against_suite] on min_s.
+
+    Joins on the benchmark name: the overhead suite re-runs the baseline
+    suite's workloads under the same names, so the ratio is the cost of
+    whatever changed between the payloads on those exact workloads.
+    """
+    base = baseline.get("suites", {}).get(against_suite, {})
+    cur = current.get("suites", {}).get(overhead_suite, {})
+    shared = sorted(
+        name
+        for name in set(base) & set(cur)
+        if float(base[name]["min_s"]) > 0
+    )
+    if not shared:
+        raise SystemExit(
+            f"no shared benchmark names between baseline suite {against_suite!r} "
+            f"and current suite {overhead_suite!r}"
+        )
+    rows = []
+    log_sum = 0.0
+    for name in shared:
+        b = float(base[name]["min_s"])
+        c = float(cur[name]["min_s"])
+        ratio = c / b
+        log_sum += math.log(ratio)
+        rows.append((name, b, c, ratio))
+    return math.exp(log_sum / len(shared)), rows
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="BENCH_*.json produced by benchmarks/run_all.py")
@@ -77,6 +126,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=DEFAULT_TOLERANCE,
         help=f"maximum allowed geomean slowdown (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--overhead-suite",
+        default=None,
+        metavar="SUITE",
+        help="current-payload suite measuring a disabled-instrumentation "
+        "path (e.g. bench_obs); enables the tight overhead gate",
+    )
+    parser.add_argument(
+        "--overhead-against",
+        default="bench_core_micro",
+        metavar="SUITE",
+        help="baseline-payload suite whose same-named benchmarks are the "
+        "pre-instrumentation reference (default: bench_core_micro)",
+    )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=DEFAULT_OVERHEAD_TOLERANCE,
+        help="maximum allowed geomean overhead ratio on min_s "
+        f"(default: {DEFAULT_OVERHEAD_TOLERANCE})",
     )
     args = parser.parse_args(argv)
 
@@ -99,11 +169,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     print()
     print(f"geomean ratio over {len(rows)} shared benchmarks: {geomean:.3f}x "
           f"(tolerance {args.tolerance:.2f}x)")
+    status = 0
     if geomean > args.tolerance:
         print("FAIL: benchmark suite slowed down beyond tolerance", file=sys.stderr)
-        return 1
-    print("OK")
-    return 0
+        status = 1
+    else:
+        print("OK")
+
+    if args.overhead_suite:
+        over_geomean, over_rows = compare_overhead(
+            baseline,
+            current,
+            overhead_suite=args.overhead_suite,
+            against_suite=args.overhead_against,
+        )
+        print()
+        print(
+            f"overhead gate: {args.overhead_suite} (current, min_s) vs "
+            f"{args.overhead_against} (baseline, min_s)"
+        )
+        over_width = max(len(name) for name, _, _, _ in over_rows)
+        print(f"{'benchmark':<{over_width}}  {'base ms':>10}  {'curr ms':>10}  {'ratio':>7}")
+        for name, b, c, r in sorted(over_rows, key=lambda row: -row[3]):
+            print(f"{name:<{over_width}}  {b * 1e3:>10.3f}  {c * 1e3:>10.3f}  {r:>6.3f}x")
+        print(
+            f"overhead geomean over {len(over_rows)} benchmark(s): "
+            f"{over_geomean:.3f}x (tolerance {args.overhead_tolerance:.2f}x)"
+        )
+        if over_geomean > args.overhead_tolerance:
+            print(
+                "FAIL: disabled-instrumentation overhead beyond tolerance",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("OK")
+    return status
 
 
 if __name__ == "__main__":

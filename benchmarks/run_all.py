@@ -46,7 +46,13 @@ SCHEMA = "repro-bench/1"
 
 #: Suites aggregated by default: fast, library-level benchmarks whose
 #: timings track the kernel hot paths rather than whole paper tables.
-DEFAULT_SUITES = ("bench_core_micro", "bench_portfolio", "bench_serve", "bench_distrib")
+DEFAULT_SUITES = (
+    "bench_core_micro",
+    "bench_portfolio",
+    "bench_serve",
+    "bench_distrib",
+    "bench_obs",
+)
 
 
 def condense(raw: dict) -> Dict[str, dict]:

@@ -1,17 +1,22 @@
-"""Lock-discipline check for the serve subsystem.
+"""Lock-discipline check for the serve and obs subsystems.
 
 The serve daemon's correctness rests on hand-maintained invariants:
 answer-exactly-once tickets, counter-undo when a respond race is lost, one
-lock guarding every shared counter.  Those invariants all reduce to one
-mechanical rule this check enforces:
+lock guarding every shared counter.  The observability layer makes the same
+promise from the other side: its tracer and instruments are documented as
+thread-safe, so every shared mutation must actually hold the lock they
+construct.  Those invariants all reduce to one mechanical rule this check
+enforces:
 
-    In a module under ``serve/``, an instance attribute mutated from more
-    than one method of a *thread-spawning* class must only be mutated
-    inside a ``with self.<lock>:`` block.
+    In a module under ``serve/`` or ``obs/``, an instance attribute mutated
+    from more than one method of a *concurrency-relevant* class must only
+    be mutated inside a ``with self.<lock>:`` block.
 
-* a class is thread-spawning when its body constructs a ``threading.Thread``
-  (directly or via an alias) — exactly the classes whose methods run
-  concurrently;
+* under ``serve/`` a class is concurrency-relevant when its body constructs
+  a ``threading.Thread`` (directly or via an alias) — exactly the classes
+  whose methods run concurrently; under ``obs/`` the trigger is
+  constructing a ``threading.Lock`` / ``RLock`` — a class that builds a
+  lock has declared itself shared, so its mutations must honor it;
 * a *mutation* is an assignment/augmented assignment/deletion of
   ``self.attr`` (including stores through ``self.attr[...]``) or a call to
   a known container mutator (``self.attr.append(...)``, ``.remove``, ...);
@@ -64,17 +69,27 @@ def _self_attr(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _spawns_threads(class_node: ast.ClassDef) -> bool:
-    """Whether the class body constructs a thread anywhere."""
+def _constructs(class_node: ast.ClassDef, names: Tuple[str, ...]) -> bool:
+    """Whether the class body calls any constructor in ``names``."""
     for node in ast.walk(class_node):
         if not isinstance(node, ast.Call):
             continue
         func = node.func
-        if isinstance(func, ast.Attribute) and func.attr == "Thread":
+        if isinstance(func, ast.Attribute) and func.attr in names:
             return True
-        if isinstance(func, ast.Name) and func.id == "Thread":
+        if isinstance(func, ast.Name) and func.id in names:
             return True
     return False
+
+
+def _spawns_threads(class_node: ast.ClassDef) -> bool:
+    """Whether the class body constructs a thread anywhere."""
+    return _constructs(class_node, ("Thread",))
+
+
+def _constructs_locks(class_node: ast.ClassDef) -> bool:
+    """Whether the class body constructs a lock anywhere."""
+    return _constructs(class_node, ("Lock", "RLock"))
 
 
 def _mutations(method: ast.FunctionDef) -> Iterator[Tuple[str, ast.AST]]:
@@ -109,16 +124,22 @@ def _mutated_attr(target: ast.AST) -> Optional[str]:
 class LockDisciplineRule(Rule):
     name = "lock-discipline"
     description = (
-        "in serve/, instance attributes mutated from more than one method "
-        "of a thread-spawning class must be mutated under `with self.<lock>:`"
+        "in serve/ (thread-spawning classes) and obs/ (lock-constructing "
+        "classes), instance attributes mutated from more than one method "
+        "must be mutated under `with self.<lock>:`"
     )
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
-        if "serve" not in module.parts[:-1]:
+        parts = module.parts[:-1]
+        if "serve" in parts:
+            trigger = _spawns_threads
+        elif "obs" in parts:
+            trigger = _constructs_locks
+        else:
             return ()
         findings: List[Finding] = []
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef) and _spawns_threads(node):
+            if isinstance(node, ast.ClassDef) and trigger(node):
                 findings.extend(self._check_class(module, node))
         return findings
 

@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro``.
 
-Fifteen subcommands cover the workflows a downstream user needs most often —
-one-shot solving (``schedule``, ``batch``), the persistent solve service
-(``serve``, ``submit``), the distributed queue runner (``enqueue``,
+Seventeen subcommands cover the workflows a downstream user needs most
+often — one-shot solving (``schedule``, ``batch``), the persistent solve
+service (``serve``, ``submit``), the distributed queue runner (``enqueue``,
 ``worker``, ``collect``), solution-cache operations (``cache-stats``,
 ``cache-gc``), portfolio/registry introspection (``portfolio-explain``,
 ``list-schedulers``), instance tooling (``repro``, ``generate``, ``info``),
-and the repo's own static analysis (``check``):
+observability (``metrics``, ``trace-view``; the solving commands also take
+``--trace FILE``), and the repo's own static analysis (``check``):
 
 ``schedule``
     Schedule a computational DAG (a hyperDAG file, a generated instance, or
@@ -80,6 +81,18 @@ and the repo's own static analysis (``check``):
     Print the registry: every registered scheduler with its metadata
     (label, description, deterministic / NUMA-aware flags, parameters).
 
+``metrics``
+    Scrape a running solve daemon (``--addr host:port``) and print its
+    metrics registry in Prometheus text exposition format — request /
+    cache / error counters, latency quantiles, queue depth and uptime.
+    The same payload is available programmatically through the ``metrics``
+    wire op (:meth:`repro.serve.client.ServiceClient.metrics`).
+
+``trace-view``
+    Summarize a ``repro-trace/1`` JSONL file written by ``--trace``: the
+    per-stage wall-time breakdown (total and self time), the slowest
+    individual spans, and cache hit/miss attribution.
+
 ``repro``
     Regenerate one table or figure of the paper's evaluation by name
     (``table1`` .. ``table14``, ``fig5`` .. ``fig7``) on laptop-scale
@@ -122,17 +135,45 @@ Examples::
     python -m repro collect /shared/q batch1 --wait --out results.jsonl
     python -m repro repro table1 --jobs 4
     python -m repro repro --list
+    python -m repro schedule --kind cg --size 8 -P 8 --scheduler multilevel --trace trace.jsonl
+    python -m repro trace-view trace.jsonl --top 5
+    python -m repro metrics --addr 127.0.0.1:7464
     python -m repro check src tests benchmarks
     python -m repro check --format json --rules determinism,lock-discipline
     python -m repro --version
+
+The inventory above is doctested against the parser itself, so this
+docstring cannot drift silently when a subcommand is added::
+
+    >>> from repro.cli import subcommands
+    >>> for name in subcommands():
+    ...     print(name)
+    batch
+    cache-gc
+    cache-stats
+    check
+    collect
+    enqueue
+    generate
+    info
+    list-schedulers
+    metrics
+    portfolio-explain
+    repro
+    schedule
+    serve
+    submit
+    trace-view
+    worker
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from .graphs.analysis import dag_statistics
 from .graphs.coarse import COARSE_GRAINED_GENERATORS, generate_coarse_grained
@@ -144,7 +185,7 @@ from .model.machine import BspMachine
 from .registry import available_schedulers, split_scheduler_list
 from .spec import ProblemSpec, SolveRequest, SpecError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "subcommands"]
 
 
 # ----------------------------------------------------------------------
@@ -237,6 +278,40 @@ def _apply_cache_dir(args: argparse.Namespace) -> None:
         set_default_cache_dir(args.cache_dir)
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a repro-trace/1 JSONL span trace of this run to FILE "
+        "(summarize with `repro trace-view`; results are unaffected)",
+    )
+
+
+@contextlib.contextmanager
+def _trace_scope(args: argparse.Namespace, root: str) -> Iterator[None]:
+    """Trace the command into ``args.trace`` when given; no-op otherwise.
+
+    The trace file is written even when the command exits with an error, so
+    a failed run can still be inspected with ``repro trace-view``.
+    """
+    trace_file = getattr(args, "trace", None)
+    if not trace_file:
+        yield
+        return
+    from .obs import trace as _trace
+
+    tracer = _trace.Tracer()
+    previous = _trace.install(tracer)
+    try:
+        with tracer.span(root):
+            yield
+    finally:
+        _trace.install(previous)
+        count = tracer.write(trace_file)
+        print(f"wrote trace of {count} span(s) to {trace_file}", file=sys.stderr)
+
+
 def _add_generator_arguments(parser: argparse.ArgumentParser, require_kind: bool) -> None:
     parser.add_argument(
         "--kind",
@@ -302,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--gantt", action="store_true", help="print a text Gantt view of the schedule")
     p_sched.add_argument("--out", help="write the scheduled DAG assignment to this file (CSV)")
     _add_cache_argument(p_sched)
+    _add_trace_argument(p_sched)
 
     # batch -------------------------------------------------------------
     p_batch = sub.add_parser(
@@ -336,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall-clock seconds in every result (non-deterministic output)",
     )
     _add_cache_argument(p_batch)
+    _add_trace_argument(p_batch)
 
     # serve --------------------------------------------------------------
     p_serve = sub.add_parser(
@@ -373,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         "default: none)",
     )
     _add_cache_argument(p_serve)
+    _add_trace_argument(p_serve)
 
     # submit -------------------------------------------------------------
     p_submit = sub.add_parser(
@@ -402,6 +480,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="include wall-clock seconds in every result (non-deterministic output)",
+    )
+
+    # metrics ------------------------------------------------------------
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running solve daemon's metrics (Prometheus text format)",
+    )
+    p_metrics.add_argument(
+        "--addr",
+        default="127.0.0.1:7464",
+        metavar="HOST:PORT",
+        help="address of the solve daemon (default: 127.0.0.1:7464)",
     )
 
     # enqueue ------------------------------------------------------------
@@ -458,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(only safe when no other worker is live)",
     )
     _add_cache_argument(p_worker)
+    _add_trace_argument(p_worker)
 
     # collect ------------------------------------------------------------
     p_collect = sub.add_parser(
@@ -592,6 +683,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="print statistics of a hyperDAG file")
     p_info.add_argument("dag_file", help="hyperDAG file")
 
+    # trace-view ---------------------------------------------------------
+    p_tview = sub.add_parser(
+        "trace-view",
+        help="summarize a repro-trace/1 JSONL file written by --trace",
+    )
+    p_tview.add_argument("trace_file", help="trace file written by a --trace run")
+    p_tview.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of slowest spans to list (default: 10)",
+    )
+
     # check --------------------------------------------------------------
     p_check = sub.add_parser(
         "check",
@@ -637,10 +742,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def subcommands() -> List[str]:
+    """Sorted names of every registered subcommand (doctested in the module
+    docstring, so the prose inventory cannot drift from the parser)."""
+    parser = build_parser()
+    assert parser._subparsers is not None
+    return sorted(
+        choice
+        for action in parser._subparsers._group_actions
+        for choice in action.choices or ()
+    )
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 def _command_schedule(args: argparse.Namespace) -> int:
+    with _trace_scope(args, "schedule"):
+        return _run_schedule(args)
+
+
+def _run_schedule(args: argparse.Namespace) -> int:
     from .experiments.runner import schedule_many
 
     _apply_cache_dir(args)
@@ -734,6 +856,11 @@ def _batch_summary(results) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
+    with _trace_scope(args, "batch"):
+        return _run_batch(args)
+
+
+def _run_batch(args: argparse.Namespace) -> int:
     from . import api
 
     _apply_cache_dir(args)
@@ -757,6 +884,11 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    with _trace_scope(args, "serve"):
+        return _run_serve(args)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
     from .serve.server import ServeConfig, SolveServer
 
     # --cache-dir is both the daemon's shared cache and the process default,
@@ -934,6 +1066,11 @@ def _command_enqueue(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    with _trace_scope(args, "worker"):
+        return _run_worker_command(args)
+
+
+def _run_worker_command(args: argparse.Namespace) -> int:
     from .distrib.queue import DEFAULT_MAX_ATTEMPTS, DirectoryQueue
     from .distrib.worker import run_worker
 
@@ -1137,6 +1274,33 @@ def _command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    from .serve.client import ServeError, ServiceClient
+
+    try:
+        with ServiceClient(args.addr, retries=2) as client:
+            sys.stdout.write(client.metrics())
+    except ServeError as exc:
+        raise SystemExit(str(exc)) from exc
+    return 0
+
+
+def _command_trace_view(args: argparse.Namespace) -> int:
+    from .obs import read_trace, render_trace_summary, validate_trace
+
+    try:
+        records = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace_file!r}: {exc}") from exc
+    problems = validate_trace(records)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(records, top=args.top))
+    return 0
+
+
 def _command_check(args: argparse.Namespace) -> int:
     from .checks.runner import main as check_main
 
@@ -1166,6 +1330,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
     if args.command == "cache-stats":
         return _command_cache_stats(args)
     if args.command == "cache-gc":
@@ -1186,6 +1352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_generate(args)
     if args.command == "info":
         return _command_info(args)
+    if args.command == "trace-view":
+        return _command_trace_view(args)
     if args.command == "check":
         return _command_check(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -37,6 +37,7 @@ from ..graphs.dag import ComputationalDAG
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule, ScheduleValidationError
 from ..multilevel.scheduler import multilevel_schedule
+from ..obs import trace as _trace
 from ..pipeline.config import MultilevelConfig, PipelineConfig
 from ..pipeline.framework import run_pipeline
 from ..registry import (
@@ -358,6 +359,16 @@ def _schedule_breakdown(schedule: BspSchedule) -> Dict[str, float]:
 
 def execute_work_item(item: WorkItem) -> WorkItemResult:
     """Run one work item; every recorded cost comes from a checked schedule."""
+    with _trace.span(
+        "solve", scheduler=item.scheduler, dag=item.dag.name, nodes=item.dag.n
+    ) as tspan:
+        result = _execute_work_item(item)
+        if _trace.enabled():
+            tspan.annotate(costs=dict(result.costs))
+        return result
+
+
+def _execute_work_item(item: WorkItem) -> WorkItemResult:
     dag, machine = item.dag, item.machine
     start = time.perf_counter()
     if item.scheduler == PIPELINE_ITEM:

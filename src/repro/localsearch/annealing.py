@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..model.schedule import BspSchedule
+from ..obs import trace as _trace
 from .state import LocalSearchState
 
 __all__ = ["SimulatedAnnealingResult", "simulated_annealing", "SimulatedAnnealingImprover"]
@@ -70,7 +71,30 @@ def simulated_annealing(
         raise ValueError("cooling must be in (0, 1]")
     if steps < 0:
         raise ValueError("steps must be non-negative")
+    with _trace.span(
+        "simulated_annealing", nodes=schedule.dag.n, steps=steps, cooling=cooling
+    ) as tspan:
+        return _simulated_annealing(
+            schedule,
+            initial_temperature=initial_temperature,
+            cooling=cooling,
+            steps=steps,
+            time_limit=time_limit,
+            seed=seed,
+            tspan=tspan,
+        )
 
+
+def _simulated_annealing(
+    schedule: BspSchedule,
+    *,
+    initial_temperature: Optional[float],
+    cooling: float,
+    steps: int,
+    time_limit: Optional[float],
+    seed: Optional[int],
+    tspan: "_trace.SpanLike",
+) -> SimulatedAnnealingResult:
     state = LocalSearchState(schedule)
     rng = np.random.default_rng(seed)
     initial_cost = float(state.total_cost)
@@ -84,7 +108,7 @@ def simulated_annealing(
     accepted = 0
     n = state.dag.n
 
-    for _ in range(steps if n > 0 else 0):
+    for step_index in range(steps if n > 0 else 0):
         if time_limit is not None and time.monotonic() - start > time_limit:
             break
         v = int(rng.integers(n))
@@ -101,16 +125,35 @@ def simulated_annealing(
                 best_cost = float(new_cost)
                 best_proc = state.proc.copy()
                 best_step = state.step.copy()
+                if _trace.enabled():
+                    # Convergence telemetry: sample the best-seen curve at
+                    # each improvement.  Never touches the RNG stream.
+                    tspan.event(
+                        "improvement",
+                        step=step_index,
+                        cost=best_cost,
+                        evaluated=evaluated,
+                        accepted=accepted,
+                    )
         temperature *= cooling
 
     best = BspSchedule(schedule.dag, schedule.machine, best_proc, best_step).normalized()
-    return SimulatedAnnealingResult(
+    result = SimulatedAnnealingResult(
         schedule=best,
         initial_cost=initial_cost,
         final_cost=float(best.cost()),
         moves_evaluated=evaluated,
         moves_accepted=accepted,
     )
+    if _trace.enabled():
+        tspan.annotate(
+            initial_cost=result.initial_cost,
+            final_cost=result.final_cost,
+            evaluated=evaluated,
+            accepted=accepted,
+            engine_transactions=state.engine.transactions,
+        )
+    return result
 
 
 class SimulatedAnnealingImprover:

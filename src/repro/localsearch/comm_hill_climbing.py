@@ -34,6 +34,7 @@ import numpy as np
 
 from ..model.comm import CommSchedule
 from ..model.schedule import BspSchedule
+from ..obs import trace as _trace
 from .engine import RECV, SEND, IncrementalCostEngine
 
 __all__ = ["CommScheduleState", "CommHillClimbingResult", "comm_hill_climb", "CommScheduleImprover"]
@@ -209,6 +210,19 @@ def comm_hill_climb(
     time_limit: Optional[float] = None,
 ) -> CommHillClimbingResult:
     """Optimize the communication schedule of a fixed (pi, tau) assignment."""
+    with _trace.span("comm_hill_climb", nodes=schedule.dag.n) as tspan:
+        return _comm_hill_climb(
+            schedule, max_moves=max_moves, time_limit=time_limit, tspan=tspan
+        )
+
+
+def _comm_hill_climb(
+    schedule: BspSchedule,
+    *,
+    max_moves: Optional[int],
+    time_limit: Optional[float],
+    tspan: "_trace.SpanLike",
+) -> CommHillClimbingResult:
     initial_cost = float(schedule.cost())
     state = CommScheduleState(schedule)
     start = time.monotonic()
@@ -230,8 +244,10 @@ def comm_hill_climb(
         return False
 
     improved_any = True
+    passes = 0
     while improved_any and not out_of_budget():
         improved_any = False
+        passes += 1
         for (u, q) in state.transfers:
             if out_of_budget():
                 break
@@ -250,16 +266,31 @@ def comm_hill_climb(
                     moves_applied += 1
                     improved_any = True
                     break
+        if _trace.enabled():
+            # Convergence telemetry: the per-pass h-relation sum (g=1, l=0
+            # engine total) and the applied-move tally.  Read-only.
+            tspan.event(
+                "pass", index=passes, h_cost=float(state.comm_total), moves=moves_applied
+            )
 
     out = schedule.copy()
     out.comm = state.to_comm_schedule()
-    return CommHillClimbingResult(
+    result = CommHillClimbingResult(
         schedule=out,
         initial_cost=initial_cost,
         final_cost=float(out.cost()),
         moves_applied=moves_applied,
         reached_local_optimum=not improved_any,
     )
+    if _trace.enabled():
+        tspan.annotate(
+            initial_cost=result.initial_cost,
+            final_cost=result.final_cost,
+            moves=moves_applied,
+            passes=passes,
+            engine_transactions=state.engine.transactions,
+        )
+    return result
 
 
 class CommScheduleImprover:

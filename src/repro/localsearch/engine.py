@@ -89,6 +89,10 @@ class IncrementalCostEngine:
         self.total_cost = float(self.step_cost.sum())
         #: Journal of applied transactions (lists of cells), newest last.
         self._journal: List[List[Cell]] = []
+        #: Monotone count of applied transactions (never decremented by
+        #: :meth:`undo`) — the "engine transaction" figure of convergence
+        #: telemetry spans.
+        self.transactions: int = 0
 
     # ------------------------------------------------------------------
     # Views
@@ -174,6 +178,7 @@ class IncrementalCostEngine:
         for mat, row, col, val in cells:
             mats[mat, row, col] += val
         self._journal.append(list(cells))
+        self.transactions += 1
         self.refresh_rows(cell[1] for cell in cells)
         return self.total_cost
 

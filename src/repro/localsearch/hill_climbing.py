@@ -32,6 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..model.schedule import BspSchedule
+from ..obs import trace as _trace
 from .state import LocalSearchState
 
 __all__ = ["HillClimbingResult", "hill_climb", "HillClimbingImprover"]
@@ -91,6 +92,26 @@ def hill_climb(
     """
     if variant not in ("first", "best"):
         raise ValueError("variant must be 'first' or 'best'")
+    with _trace.span("hill_climb", variant=variant, nodes=schedule.dag.n) as tspan:
+        return _hill_climb(
+            schedule,
+            variant=variant,
+            max_moves=max_moves,
+            max_passes=max_passes,
+            time_limit=time_limit,
+            tspan=tspan,
+        )
+
+
+def _hill_climb(
+    schedule: BspSchedule,
+    *,
+    variant: str,
+    max_moves: Optional[int],
+    max_passes: Optional[int],
+    time_limit: Optional[float],
+    tspan: "_trace.SpanLike",
+) -> HillClimbingResult:
     state = LocalSearchState(schedule)
     n = state.dag.n
     initial_cost = state.total_cost
@@ -249,10 +270,16 @@ def hill_climb(
                 clean[deps] = False
                 fresh[deps] = False
                 dirty_stamp[deps] = move_counter
+        if _trace.enabled():
+            # Convergence telemetry: one cost-vs-pass sample per scan.  The
+            # hook reads state, never steers the search.
+            tspan.event(
+                "pass", index=passes, cost=float(state.total_cost), moves=moves_applied
+            )
     reached_local_optimum = not improved_any
 
     final = state.to_schedule()
-    return HillClimbingResult(
+    result = HillClimbingResult(
         schedule=final,
         initial_cost=float(initial_cost),
         final_cost=float(final.cost()),
@@ -260,6 +287,15 @@ def hill_climb(
         passes=passes,
         reached_local_optimum=reached_local_optimum,
     )
+    if _trace.enabled():
+        tspan.annotate(
+            initial_cost=result.initial_cost,
+            final_cost=result.final_cost,
+            moves=moves_applied,
+            passes=passes,
+            engine_transactions=state.engine.transactions,
+        )
+    return result
 
 
 class HillClimbingImprover:

@@ -18,6 +18,7 @@ import numpy as np
 from ..localsearch.hill_climbing import hill_climb
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule, legalize_superstep_assignment
+from ..obs import trace as _trace
 from .coarsen import CoarseningSequence
 
 __all__ = ["project_schedule", "uncoarsen_and_refine"]
@@ -93,14 +94,21 @@ def uncoarsen_and_refine(
 
     while current_steps > 0:
         next_steps = max(0, current_steps - max(config.refine_interval, 1))
-        projected = project_schedule(
-            sequence, machine, current_schedule, current_steps, next_steps
-        )
-        result = hill_climb(
-            projected,
-            variant=config.hc_variant,
-            max_moves=config.hc_moves_per_refinement,
-        )
+        with _trace.span(
+            "refine_level", contractions=current_steps, next=next_steps
+        ) as level_span:
+            projected = project_schedule(
+                sequence, machine, current_schedule, current_steps, next_steps
+            )
+            result = hill_climb(
+                projected,
+                variant=config.hc_variant,
+                max_moves=config.hc_moves_per_refinement,
+            )
+            if _trace.enabled():
+                level_span.annotate(
+                    nodes=projected.dag.n, cost=result.final_cost
+                )
         current_schedule = result.schedule
         current_steps = next_steps
 

@@ -26,6 +26,7 @@ from ..ilp.commsched import CommScheduleIlpImprover
 from ..localsearch.comm_hill_climbing import comm_hill_climb
 from ..model.machine import BspMachine
 from ..model.schedule import BspSchedule
+from ..obs import trace as _trace
 from ..pipeline.config import MultilevelConfig
 from ..pipeline.framework import run_pipeline
 from ..scheduler import Scheduler, SchedulingError
@@ -47,6 +48,16 @@ def multilevel_schedule(
     """
     if config is None:
         config = MultilevelConfig()
+    with _trace.span("multilevel", nodes=dag.n, P=machine.P) as tspan:
+        return _multilevel_schedule(dag, machine, config, tspan)
+
+
+def _multilevel_schedule(
+    dag: ComputationalDAG,
+    machine: BspMachine,
+    config: MultilevelConfig,
+    tspan: "_trace.SpanLike",
+) -> Tuple[BspSchedule, Dict[float, float]]:
     if config.memory_bound is not None:
         machine = machine.with_memory_bound(config.memory_bound)
     bounded = machine.has_memory_bounds
@@ -79,47 +90,58 @@ def multilevel_schedule(
     per_ratio_cost: Dict[float, float] = {}
 
     for ratio in config.coarsening_ratios:
-        target = max(config.min_coarse_nodes, int(round(dag.n * float(ratio))))
-        target = min(target, dag.n)
-        sequence = coarsen_dag(dag, target, light_fraction=config.light_edge_fraction)
-        coarse_dag, _ = sequence.coarse_dag_after(sequence.num_contractions)
+        with _trace.span("ml_ratio", ratio=float(ratio)) as ratio_span:
+            target = max(config.min_coarse_nodes, int(round(dag.n * float(ratio))))
+            target = min(target, dag.n)
+            with _trace.span("coarsen"):
+                sequence = coarsen_dag(
+                    dag, target, light_fraction=config.light_edge_fraction
+                )
+                coarse_dag, _ = sequence.coarse_dag_after(sequence.num_contractions)
 
-        # The base pipeline is not memory-aware: solve the coarse DAG
-        # unconstrained, then repair the result into the feasible region
-        # before the bound-respecting refinement takes over.
-        solve_machine = machine.without_memory_bound() if bounded else machine
-        coarse_result = run_pipeline(coarse_dag, solve_machine, base_config)
-        coarse_schedule = coarse_result.schedule.without_comm()
-        if bounded:
-            coarse_schedule = BspSchedule(
-                coarse_dag, machine, coarse_schedule.proc, coarse_schedule.step
-            )
-            try:
-                coarse_schedule = repair_memory(coarse_schedule)
-            except SchedulingError:
-                # Cluster granularity too coarse for the bound at this
-                # ratio; the fallback candidate keeps the result feasible.
-                continue
-        refined = uncoarsen_and_refine(
-            sequence, machine, coarse_schedule, config=refinement
-        )
+            # The base pipeline is not memory-aware: solve the coarse DAG
+            # unconstrained, then repair the result into the feasible region
+            # before the bound-respecting refinement takes over.
+            solve_machine = machine.without_memory_bound() if bounded else machine
+            with _trace.span("coarse_solve", coarse_nodes=coarse_dag.n):
+                coarse_result = run_pipeline(coarse_dag, solve_machine, base_config)
+            coarse_schedule = coarse_result.schedule.without_comm()
+            if bounded:
+                coarse_schedule = BspSchedule(
+                    coarse_dag, machine, coarse_schedule.proc, coarse_schedule.step
+                )
+                try:
+                    coarse_schedule = repair_memory(coarse_schedule)
+                except SchedulingError:
+                    # Cluster granularity too coarse for the bound at this
+                    # ratio; the fallback candidate keeps the result feasible.
+                    if _trace.enabled():
+                        ratio_span.annotate(repair_failed=True)
+                    continue
+            with _trace.span("refine"):
+                refined = uncoarsen_and_refine(
+                    sequence, machine, coarse_schedule, config=refinement
+                )
 
-        # Communication scheduling is run on the original DAG only — the
-        # coarse DAG overestimates communication volumes (summed weights).
-        refined = comm_hill_climb(
-            refined, time_limit=config.base_pipeline.hccs_time_limit
-        ).schedule
-        if config.base_pipeline.use_ilp_cs:
-            refined = CommScheduleIlpImprover(
-                time_limit=config.base_pipeline.ilp_cs_time_limit,
-                backend=config.base_pipeline.solver_backend,
-            ).improve(refined)
+            # Communication scheduling is run on the original DAG only — the
+            # coarse DAG overestimates communication volumes (summed weights).
+            with _trace.span("comm_opt"):
+                refined = comm_hill_climb(
+                    refined, time_limit=config.base_pipeline.hccs_time_limit
+                ).schedule
+                if config.base_pipeline.use_ilp_cs:
+                    refined = CommScheduleIlpImprover(
+                        time_limit=config.base_pipeline.ilp_cs_time_limit,
+                        backend=config.base_pipeline.solver_backend,
+                    ).improve(refined)
 
-        cost = float(refined.cost())
-        per_ratio_cost[float(ratio)] = cost
-        if cost < best_cost:
-            best_cost = cost
-            best_schedule = refined
+            cost = float(refined.cost())
+            per_ratio_cost[float(ratio)] = cost
+            if _trace.enabled():
+                ratio_span.annotate(cost=cost)
+            if cost < best_cost:
+                best_cost = cost
+                best_schedule = refined
 
     if best_schedule is None:
         raise SchedulingError(
@@ -127,6 +149,8 @@ def multilevel_schedule(
             "greedy fallback and every coarsening ratio failed under the "
             "per-processor memory bounds"
         )
+    if _trace.enabled():
+        tspan.annotate(final_cost=best_cost)
     return best_schedule, per_ratio_cost
 
 

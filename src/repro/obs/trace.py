@@ -1,0 +1,408 @@
+"""Hierarchical span tracing with a zero-cost disabled path.
+
+A *span* is one timed region of a solve — ``solve`` -> pipeline stage ->
+coarsen/refine level -> local-search pass — carrying attributes (scheduler,
+cost, moves applied) and point-in-time *events* (per-pass convergence
+samples, cache hits).  Spans nest per thread: each thread of the tracer
+keeps its own stack, so the serve daemon's worker threads trace concurrent
+requests without interleaving.
+
+Tracing is off unless a :class:`Tracer` is installed (the ``--trace FILE``
+CLI flag does this).  When off, :func:`span` returns one shared no-op
+singleton and :func:`event` / :func:`annotate` return immediately — the
+instrumented hot paths pay one module-global ``None`` check and nothing
+else, and they must never perturb results: hooks read state, they never
+touch RNG streams or control flow.
+
+The emitted file is schema-versioned JSONL (``repro-trace/1``): a header
+line followed by one JSON object per finished span, in completion order
+(parents therefore appear *after* their children)::
+
+    {"schema": "repro-trace/1", "type": "header"}
+    {"type": "span", "id": 2, "parent": 1, "name": "init", "t0": ..., "t1": ...,
+     "thread": "MainThread", "attrs": {...}, "events": [{"name": ..., "t": ...}]}
+
+All timestamps are ``time.perf_counter`` seconds relative to the tracer's
+creation — wall-clock time never enters the trace, and no timing field ever
+enters a :class:`~repro.spec.SolveResult`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "annotate",
+    "enabled",
+    "event",
+    "install",
+    "read_trace",
+    "span",
+    "tracing",
+    "uninstall",
+    "validate_trace",
+]
+
+#: Schema identifier written on the header line.  Bump on any incompatible
+#: change to the record shapes documented above.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Tolerance when validating parent/child interval containment: a child's
+#: ``t1`` is taken *before* its parent's, but float rounding may reorder
+#: equal readings by an ulp.
+_NEST_EPS = 1e-9
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    A singleton so the disabled path allocates nothing per call — tests pin
+    this with ``span("a") is span("b")``.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live traced region; use as a context manager (``with span(...)``)."""
+
+    __slots__ = ("tracer", "name", "attrs", "events", "span_id", "parent_id", "thread", "t0", "t1")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.thread = ""
+        self.t0 = 0.0
+        self.t1 = 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = tracer._fresh_id()
+        self.thread = threading.current_thread().name
+        stack.append(self)
+        self.t0 = tracer._now()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.t1 = self.tracer._now()
+        stack = self.tracer._stack()
+        while stack:  # unwind past spans leaked by an exception below us
+            top = stack.pop()
+            if top is self:
+                break
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._record(self._to_record())
+        return None
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (later keys win)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "Span":
+        """Record one point-in-time event inside the span."""
+        record: Dict[str, Any] = dict(attrs)
+        record["name"] = name
+        record["t"] = self.tracer._now()
+        self.events.append(record)
+        return self
+
+    def _to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "thread": self.thread,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+
+SpanLike = Union[Span, _NoopSpan]
+
+
+class Tracer:
+    """Collects finished span records; one instance per traced run.
+
+    Thread-safe: span ids come from an atomic counter, finished records are
+    appended under a lock, and the *open* span stack is thread-local, so
+    concurrent threads nest their own spans independently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Span plumbing
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def _fresh_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span nested under this thread's current span (on enter)."""
+        return Span(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        """This thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Snapshot of the finished span records (completion order)."""
+        with self._lock:
+            return list(self._records)
+
+    def write(self, path_or_file: Any) -> int:
+        """Write the ``repro-trace/1`` JSONL file; returns the span count.
+
+        Records are sorted by span id so repeated writes of the same tracer
+        are byte-identical regardless of completion interleavings.
+        """
+        records = sorted(self.records(), key=lambda r: r["id"])
+        lines = [json.dumps({"schema": TRACE_SCHEMA, "type": "header"}, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True) for record in records)
+        text = "\n".join(lines) + "\n"
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)
+        else:
+            with open(path_or_file, "w") as handle:
+                handle.write(text)
+        return len(records)
+
+
+# ----------------------------------------------------------------------
+# Module-level switchboard (what instrumented code calls)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Make ``tracer`` the process tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was installed."""
+    return install(None)
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Cheap guard for hooks that would otherwise build event payloads."""
+    return _ACTIVE is not None
+
+
+def span(name: str, **attrs: Any) -> SpanLike:
+    """A span on the active tracer, or the shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return Span(tracer, name, attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the current span (no-op when disabled/rootless)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an event on the current span (no-op when disabled/rootless)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.event(name, **attrs)
+
+
+@contextlib.contextmanager
+def tracing(root: Optional[str] = None, **attrs: Any) -> Iterator[Tracer]:
+    """Install a fresh tracer for the block (optionally under a root span).
+
+    Restores whatever tracer was installed before — nested ``tracing``
+    blocks therefore behave sanely, each collecting its own records.
+    """
+    tracer = Tracer()
+    previous = install(tracer)
+    try:
+        if root is not None:
+            with tracer.span(root, **attrs):
+                yield tracer
+        else:
+            yield tracer
+    finally:
+        install(previous)
+
+
+# ----------------------------------------------------------------------
+# Reading and validation
+# ----------------------------------------------------------------------
+def read_trace(path_or_file: Any) -> List[Dict[str, Any]]:
+    """Parse a trace file into its records (header included).
+
+    Raises ``ValueError`` on non-JSONL content; schema-level problems are
+    the job of :func:`validate_trace`.
+    """
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(path_or_file) as handle:
+            text = handle.read()
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"trace line {lineno} is not a JSON object")
+        records.append(record)
+    return records
+
+
+_SPAN_KEYS = ("id", "parent", "name", "thread", "t0", "t1", "attrs", "events")
+
+
+def validate_trace(records: List[Dict[str, Any]]) -> List[str]:
+    """Schema problems of a parsed trace; an empty list means valid.
+
+    Checks the ``repro-trace/1`` contract: header first, every span record
+    complete and well-typed, ids unique, parents resolving to known spans,
+    ``t0 <= t1``, events timestamped inside their span, and same-thread
+    children contained in their parent's interval.
+    """
+    problems: List[str] = []
+    if not records:
+        return ["empty trace (no header line)"]
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        problems.append(f"first line is not a {TRACE_SCHEMA} header: {header}")
+    spans: Dict[int, Dict[str, Any]] = {}
+    for k, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        if kind == "header":
+            problems.append(f"line {k}: duplicate header")
+            continue
+        if kind != "span":
+            problems.append(f"line {k}: unknown record type {kind!r}")
+            continue
+        missing = [key for key in _SPAN_KEYS if key not in record]
+        if missing:
+            problems.append(f"line {k}: span record missing {missing}")
+            continue
+        span_id = record["id"]
+        if not isinstance(span_id, int) or span_id < 1:
+            problems.append(f"line {k}: bad span id {span_id!r}")
+            continue
+        if span_id in spans:
+            problems.append(f"line {k}: duplicate span id {span_id}")
+            continue
+        if not isinstance(record["name"], str) or not record["name"]:
+            problems.append(f"line {k}: span {span_id} has no name")
+        if not isinstance(record["attrs"], dict):
+            problems.append(f"line {k}: span {span_id} attrs is not an object")
+        t0, t1 = record["t0"], record["t1"]
+        if not isinstance(t0, (int, float)) or not isinstance(t1, (int, float)):
+            problems.append(f"line {k}: span {span_id} has non-numeric times")
+        elif t1 < t0:
+            problems.append(f"line {k}: span {span_id} ends before it starts")
+        events = record["events"]
+        if not isinstance(events, list):
+            problems.append(f"line {k}: span {span_id} events is not a list")
+        else:
+            for event_record in events:
+                if not isinstance(event_record, dict) or "name" not in event_record:
+                    problems.append(f"line {k}: span {span_id} has a malformed event")
+                    break
+                t = event_record.get("t")
+                if not isinstance(t, (int, float)) or t < t0 - _NEST_EPS or t > t1 + _NEST_EPS:
+                    problems.append(
+                        f"line {k}: span {span_id} event {event_record['name']!r} "
+                        "timestamped outside the span"
+                    )
+                    break
+        spans[span_id] = record
+    for span_id, record in spans.items():
+        parent_id = record["parent"]
+        if parent_id is None:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            problems.append(f"span {span_id} references unknown parent {parent_id}")
+            continue
+        if parent["thread"] == record["thread"]:
+            if record["t0"] < parent["t0"] - _NEST_EPS or record["t1"] > parent["t1"] + _NEST_EPS:
+                problems.append(
+                    f"span {span_id} ({record['name']}) is not contained in "
+                    f"its parent {parent_id} ({parent['name']})"
+                )
+    return problems

@@ -1,0 +1,98 @@
+"""Summarize a ``repro-trace/1`` file: where did the wall time go?
+
+Backs ``repro trace-view``.  The summary aggregates spans by name into a
+per-stage breakdown (total time, *self* time with child spans subtracted),
+lists the slowest individual spans, and attributes cache traffic recorded
+as ``cache`` events or ``cached`` span attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["summarize_trace", "render_trace_summary"]
+
+
+def summarize_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate parsed trace records (header included) into summary data."""
+    spans = [r for r in records if r.get("type") == "span"]
+    by_id = {s["id"]: s for s in spans}
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + (span["t1"] - span["t0"])
+
+    stages: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        duration = span["t1"] - span["t0"]
+        self_time = max(0.0, duration - child_time.get(span["id"], 0.0))
+        stage = stages.setdefault(span["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0})
+        stage["count"] += 1
+        stage["total_s"] += duration
+        stage["self_s"] += self_time
+
+    cache_hits = 0
+    cache_misses = 0
+    for span in spans:
+        cached = span.get("attrs", {}).get("cached")
+        if cached is True:
+            cache_hits += 1
+        elif cached is False:
+            cache_misses += 1
+        for event in span.get("events", ()):
+            if event.get("name") == "cache":
+                if event.get("hit"):
+                    cache_hits += 1
+                else:
+                    cache_misses += 1
+
+    wall = 0.0
+    if spans:
+        wall = max(s["t1"] for s in spans) - min(s["t0"] for s in spans)
+    slowest = sorted(spans, key=lambda s: s["t1"] - s["t0"], reverse=True)
+    return {
+        "spans": len(spans),
+        "threads": len({s["thread"] for s in spans}),
+        "wall_s": wall,
+        "stages": stages,
+        "slowest": slowest,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+    }
+
+
+def render_trace_summary(records: List[Dict[str, Any]], *, top: int = 10) -> str:
+    """Human-readable summary of a parsed trace."""
+    summary = summarize_trace(records)
+    lines = [
+        f"trace: {summary['spans']} span(s) on {summary['threads']} thread(s), "
+        f"wall {summary['wall_s']:.3f}s"
+    ]
+    stages = summary["stages"]
+    if stages:
+        lines.append("")
+        lines.append("per-stage breakdown (self = time not inside a child span):")
+        name_w = max(len("stage"), max(len(name) for name in stages))
+        lines.append(f"  {'stage'.ljust(name_w)}  {'count':>5}  {'total_s':>9}  {'self_s':>9}")
+        for name, stage in sorted(stages.items(), key=lambda kv: -kv[1]["total_s"]):
+            lines.append(
+                f"  {name.ljust(name_w)}  {int(stage['count']):>5}  "
+                f"{stage['total_s']:>9.4f}  {stage['self_s']:>9.4f}"
+            )
+    slowest = summary["slowest"][: max(0, top)]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest {len(slowest)} span(s):")
+        for span in slowest:
+            duration = span["t1"] - span["t0"]
+            attrs = span.get("attrs", {})
+            brief = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)[:4])
+            suffix = f"  ({brief})" if brief else ""
+            lines.append(f"  {duration:>9.4f}s  #{span['id']} {span['name']}{suffix}")
+    hits, misses = summary["cache_hits"], summary["cache_misses"]
+    if hits or misses:
+        lines.append("")
+        total = hits + misses
+        lines.append(f"cache attribution: {hits} hit(s), {misses} miss(es) of {total} lookup(s)")
+    return "\n".join(lines)

@@ -48,6 +48,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..model.schedule import BspSchedule
+from ..obs import trace as _trace
+from ..obs.metrics import Metrics
 from ..spec import SolveResult
 
 __all__ = [
@@ -191,14 +193,55 @@ class SolutionCache:
         self.max_disk_bytes = None if max_disk_bytes is None else int(max_disk_bytes)
         self.max_disk_entries = None if max_disk_entries is None else int(max_disk_entries)
         self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
+        #: Per-instance metrics registry (merged into the daemon's ``metrics``
+        #: wire op); the historical integer counters are read-only properties
+        #: over these instruments.
+        self.metrics = Metrics()
+        self._hits = self.metrics.counter(
+            "repro_cache_hits_total", help="Cache lookups served from LRU or disk"
+        )
+        self._misses = self.metrics.counter(
+            "repro_cache_misses_total", help="Cache lookups that found no usable entry"
+        )
+        self._stores = self.metrics.counter(
+            "repro_cache_stores_total", help="Entries written to the cache"
+        )
+        self._evictions = self.metrics.counter(
+            "repro_cache_evictions_total", help="Entries evicted from the on-disk tier"
+        )
         #: Running (entries, bytes) estimate of the on-disk tier, used to
         #: decide cheaply whether a put must walk the directory and evict.
         #: ``None`` until the first bounded put initializes it from disk.
         self._disk_usage: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Counters (Metrics-backed, read as plain ints for compatibility)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def stores(self) -> int:
+        return int(self._stores.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    def _count_hit(self) -> None:
+        self._hits.inc()
+        if _trace.enabled():
+            _trace.event("cache", hit=True)
+
+    def _count_miss(self) -> None:
+        self._misses.inc()
+        if _trace.enabled():
+            _trace.event("cache", hit=False)
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -230,14 +273,14 @@ class SolutionCache:
             try:
                 payload = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError, ValueError):
-                self.misses += 1
+                self._count_miss()
                 return None
             if (
                 not isinstance(payload, dict)
                 or payload.get("format") != CACHE_FORMAT_VERSION
                 or payload.get("key") != key
             ):
-                self.misses += 1
+                self._count_miss()
                 return None
             self._lru_put(key, payload)
             # A disk read is an access: record it so eviction keeps hot
@@ -247,14 +290,14 @@ class SolutionCache:
         try:
             schedule = schedule_from_dict(payload["schedule"])
         except (KeyError, TypeError, ValueError):
-            self.misses += 1
+            self._count_miss()
             return None
         try:
             result: Optional[SolveResult] = SolveResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             result = None
         entry = CacheEntry(result=result, schedule=schedule, chosen=payload.get("chosen", ""))
-        self.hits += 1
+        self._count_hit()
         return entry
 
     def put(
@@ -296,7 +339,7 @@ class SolutionCache:
                 pass
             raise
         self._lru_put(key, payload)
-        self.stores += 1
+        self._stores.inc()
         self._journal_record(path.parent, key)
         self._account_store(len(text))
         return path
@@ -503,7 +546,7 @@ class SolutionCache:
         if not dry_run:
             for shard in touched_shards:
                 self._compact_journal(shard)
-            self.evictions += evicted_entries
+            self._evictions.inc(evicted_entries)
             self._disk_usage = (total_entries, total_bytes)
         return {
             "scanned_entries": scanned_entries,

@@ -339,6 +339,10 @@ class ServiceClient:
         """The daemon's health blurb (status, protocol, uptime)."""
         return self._data(protocol.health_message(id=self._fresh_id()))
 
+    def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return str(self._data(protocol.metrics_message(id=self._fresh_id()))["text"])
+
     def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
         """Ask the daemon to shut down; returns once the drain completed."""
         try:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..api import broken_request_result, to_solve_result
 from ..experiments.runner import (
@@ -39,27 +39,15 @@ from ..experiments.runner import (
     WorkItem,
     execute_work_item_tolerant,
 )
+from ..obs import trace as _trace
+from ..obs.metrics import Counter, Instrument, Metrics, percentiles
 from ..portfolio.cache import SolutionCache
 from ..spec import SolveRequest
 from . import protocol
 
-__all__ = ["Ticket", "WorkerPool"]
-
-
-def percentiles(
-    values: List[float], points: Sequence[float] = (50.0, 90.0, 99.0)
-) -> Dict[str, float]:
-    """Nearest-rank percentiles of ``values`` (empty input -> zeros)."""
-    out: Dict[str, float] = {}
-    ordered = sorted(values)
-    for point in points:
-        key = f"p{point:g}"
-        if not ordered:
-            out[key] = 0.0
-        else:
-            rank = max(0, min(len(ordered) - 1, int(round(point / 100.0 * len(ordered))) - 1))
-            out[key] = ordered[rank]
-    return out
+# ``percentiles`` moved to :mod:`repro.obs.metrics`; re-exported here because
+# it has always been part of this module's public surface.
+__all__ = ["Ticket", "WorkerPool", "percentiles"]
 
 
 class Ticket:
@@ -112,7 +100,10 @@ class Ticket:
 class WorkerPool:
     """Fixed worker threads draining one bounded ticket queue.
 
-    All mutable counters are guarded by one lock; the public snapshot is
+    Counters and the latency window live on a per-pool
+    :class:`~repro.obs.metrics.Metrics` registry (each instrument carries
+    its own lock); the pool lock guards the remaining shared state (watch
+    list, in-flight count, lifecycle).  The public snapshot is
     :meth:`stats`.  Lifecycle: :meth:`start` -> ``submit`` xN ->
     :meth:`drain` (finish everything queued, then stop) or
     :meth:`stop` (refuse queued tickets with ``shutting-down``).
@@ -143,14 +134,45 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._watched: List[Ticket] = []
         self._in_flight = 0
-        self.counters: Dict[str, int] = {
-            "received": 0,
-            "served": 0,
-            "cache_hits": 0,
-            "abandoned": 0,
+        #: Per-pool metrics registry: request counters, one labeled error
+        #: counter per protocol error code, and the bounded latency
+        #: histogram that replaced the historical (unbounded) latency list.
+        #: Each instrument carries its own lock, so counting never needs the
+        #: pool lock.
+        self.metrics = Metrics()
+        self._received = self.metrics.counter(
+            "repro_serve_requests_received_total", help="Requests accepted into the queue"
+        )
+        self._served = self.metrics.counter(
+            "repro_serve_requests_served_total", help="Requests answered with a result"
+        )
+        self._cache_hits = self.metrics.counter(
+            "repro_serve_requests_cache_hits_total",
+            help="Requests served from the shared solution cache",
+        )
+        self._abandoned = self.metrics.counter(
+            "repro_serve_requests_abandoned_total",
+            help="Requests whose computed answer lost the respond race",
+        )
+        self._errors: Dict[str, Counter] = {
+            code: self.metrics.counter(
+                "repro_serve_errors_total",
+                help="Structured errors answered, by protocol error code",
+                labels={"code": code},
+            )
+            for code in protocol.ERROR_CODES
         }
-        self.error_counters: Dict[str, int] = {code: 0 for code in protocol.ERROR_CODES}
-        self._latencies: List[float] = []
+        self._latency = self.metrics.histogram(
+            "repro_serve_request_latency_seconds",
+            help="Queue-to-response latency of served requests",
+            window=self.LATENCY_WINDOW,
+        )
+        self._queue_depth_gauge = self.metrics.gauge(
+            "repro_serve_queue_depth", help="Tickets waiting in the bounded queue"
+        )
+        self._in_flight_gauge = self.metrics.gauge(
+            "repro_serve_in_flight", help="Tickets currently being solved"
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -233,9 +255,9 @@ class WorkerPool:
             self._queue.put_nowait(ticket)
         except queue.Full:
             return "full"
-        with self._lock:
-            self.counters["received"] += 1
-            if ticket.deadline is not None:
+        self._received.inc()
+        if ticket.deadline is not None:
+            with self._lock:
                 self._watched.append(ticket)
         return "ok"
 
@@ -246,8 +268,7 @@ class WorkerPool:
         become tickets (queue-full backpressure, shutting-down); counting
         them here keeps ``stats()["errors"]`` the one complete error ledger.
         """
-        with self._lock:
-            self.error_counters[code] += 1
+        self._errors[code].inc()
 
     def retry_after(self) -> float:
         """Suggested client backoff when the queue is full.
@@ -257,9 +278,8 @@ class WorkerPool:
         seconds.  Clamped to [0.05, 5] so a cold daemon (no latency samples
         yet) still returns a sane hint.
         """
-        with self._lock:
-            depth = self._queue.qsize()
-            recent = self._latencies[-64:]
+        depth = self._queue.qsize()
+        recent = self._latency.recent(64)
         mean = (sum(recent) / len(recent)) if recent else 0.1
         return min(5.0, max(0.05, mean * max(1, depth) / self.jobs))
 
@@ -275,10 +295,19 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot of queue depth, counters and latency percentiles."""
+        latencies = self._latency.values()
+        counters = {
+            "received": int(self._received.value),
+            "served": int(self._served.value),
+            "cache_hits": int(self._cache_hits.value),
+            "abandoned": int(self._abandoned.value),
+        }
+        errors = {
+            code: int(counter.value)
+            for code, counter in self._errors.items()
+            if counter.value
+        }
         with self._lock:
-            latencies = list(self._latencies)
-            counters = dict(self.counters)
-            errors = {code: n for code, n in self.error_counters.items() if n}
             in_flight = self._in_flight
         stats: Dict[str, Any] = {
             "workers": self.jobs,
@@ -301,6 +330,14 @@ class WorkerPool:
             stats["cache"] = self.cache.stats()
         return stats
 
+    def metrics_instruments(self) -> List[Instrument]:
+        """The pool's instruments with point-in-time gauges refreshed."""
+        self._queue_depth_gauge.set(self._queue.qsize())
+        with self._lock:
+            in_flight = self._in_flight
+        self._in_flight_gauge.set(in_flight)
+        return self.metrics.instruments()
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -310,8 +347,7 @@ class WorkerPool:
             if ticket is None:
                 return
             if ticket.answered:  # timed out (or refused) while queued
-                with self._lock:
-                    self.counters["abandoned"] += 1
+                self._abandoned.inc()
                 continue
             with self._lock:
                 self._in_flight += 1
@@ -332,26 +368,31 @@ class WorkerPool:
             with self._lock:
                 self._in_flight -= 1
                 self._forget(ticket)
-                if ok:
-                    self.counters["served"] += 1
-                    if cache_hit:
-                        self.counters["cache_hits"] += 1
-                    self._latencies.append(time.monotonic() - ticket.enqueued)
-                    del self._latencies[: -self.LATENCY_WINDOW]
-                else:
-                    self.error_counters[response["error"]["code"]] += 1
+            if ok:
+                self._served.inc()
+                if cache_hit:
+                    self._cache_hits.inc()
+                self._latency.observe(time.monotonic() - ticket.enqueued)
+            else:
+                self._errors[response["error"]["code"]].inc()
             if not ticket.respond(response):
-                with self._lock:
-                    self.counters["abandoned"] += 1
-                    if ok:
-                        self.counters["served"] -= 1
-                        if cache_hit:
-                            self.counters["cache_hits"] -= 1
-                    else:
-                        self.error_counters[response["error"]["code"]] -= 1
+                self._abandoned.inc()
+                if ok:
+                    self._served.inc(-1)
+                    if cache_hit:
+                        self._cache_hits.inc(-1)
+                else:
+                    self._errors[response["error"]["code"]].inc(-1)
 
     def _solve(self, request: SolveRequest, rid: Any) -> Tuple[Dict[str, Any], bool]:
         """Execute one request against the shared cache; returns (response, hit)."""
+        with _trace.span("serve_request", scheduler=request.scheduler) as tspan:
+            response, cache_hit = self._solve_inner(request, rid)
+            if _trace.enabled():
+                tspan.annotate(cached=cache_hit, ok=bool(response.get("ok")))
+            return response, cache_hit
+
+    def _solve_inner(self, request: SolveRequest, rid: Any) -> Tuple[Dict[str, Any], bool]:
         try:
             item = WorkItem.from_request(request, keep_schedule=True)
         except REQUEST_BUILD_FAILURES as exc:
@@ -417,8 +458,7 @@ class WorkerPool:
                 # Count BEFORE delivering (mirror of the worker path): a
                 # client reading stats right after its timeout error must
                 # see it counted.  Undo if the worker answered first.
-                with self._lock:
-                    self.error_counters[protocol.E_TIMEOUT] += 1
+                self._errors[protocol.E_TIMEOUT].inc()
                 if not ticket.respond(
                     protocol.error_response(
                         ticket.rid,
@@ -426,8 +466,7 @@ class WorkerPool:
                         f"request timed out after {waited:.3f}s",
                     )
                 ):
-                    with self._lock:
-                        self.error_counters[protocol.E_TIMEOUT] -= 1
+                    self._errors[protocol.E_TIMEOUT].inc(-1)
 
     def _forget(self, ticket: Ticket) -> None:
         """Drop a finished ticket from the deadline watch list (lock held)."""
@@ -441,6 +480,6 @@ class WorkerPool:
 
     def _refuse(self, ticket: Ticket, code: str, message: str) -> None:
         if ticket.respond(protocol.error_response(ticket.rid, code, message)):
+            self._errors[code].inc()
             with self._lock:
-                self.error_counters[code] += 1
                 self._forget(ticket)

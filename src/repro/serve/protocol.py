@@ -11,8 +11,9 @@ Requests (client -> server)::
 
     {"op": "solve",    "id": 7, "request": {<SolveRequest.to_dict()>}, "timeout": 30.0}
     {"op": "stats",    "id": 8, "disk": false}
-    {"op": "health",   "id": 9}
-    {"op": "shutdown", "id": 10, "drain": true}
+    {"op": "metrics",  "id": 9}
+    {"op": "health",   "id": 10}
+    {"op": "shutdown", "id": 11, "drain": true}
 
 Responses (server -> client)::
 
@@ -51,6 +52,7 @@ __all__ = [
     "PROTOCOL",
     "OP_SOLVE",
     "OP_STATS",
+    "OP_METRICS",
     "OP_HEALTH",
     "OP_SHUTDOWN",
     "OPS",
@@ -69,6 +71,7 @@ __all__ = [
     "read_messages",
     "solve_message",
     "stats_message",
+    "metrics_message",
     "health_message",
     "shutdown_message",
     "result_response",
@@ -87,9 +90,10 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 
 OP_SOLVE = "solve"
 OP_STATS = "stats"
+OP_METRICS = "metrics"
 OP_HEALTH = "health"
 OP_SHUTDOWN = "shutdown"
-OPS = (OP_SOLVE, OP_STATS, OP_HEALTH, OP_SHUTDOWN)
+OPS = (OP_SOLVE, OP_STATS, OP_METRICS, OP_HEALTH, OP_SHUTDOWN)
 
 E_INVALID_REQUEST = "invalid-request"
 E_INVALID_SPEC = "invalid-spec"
@@ -177,6 +181,11 @@ def stats_message(*, id: Any, disk: bool = False) -> Dict[str, Any]:
     return {"op": OP_STATS, "id": id, "disk": bool(disk)}
 
 
+def metrics_message(*, id: Any) -> Dict[str, Any]:
+    """A ``metrics`` request: Prometheus text exposition of the daemon."""
+    return {"op": OP_METRICS, "id": id}
+
+
 def health_message(*, id: Any) -> Dict[str, Any]:
     return {"op": OP_HEALTH, "id": id}
 
@@ -196,7 +205,7 @@ def result_response(
 
 
 def data_response(id: Any, op: str, data: Dict[str, Any]) -> Dict[str, Any]:
-    """Successful response of a non-solve op (``stats``/``health``/``shutdown``)."""
+    """Successful response of a non-solve op (stats/metrics/health/shutdown)."""
     return {"id": id, "ok": True, "op": op, "data": data}
 
 

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..obs.metrics import Gauge, render_prometheus
 from ..portfolio.cache import SolutionCache, default_cache_dir
 from ..spec import SolveRequest, SpecError
 from . import protocol
@@ -127,6 +128,13 @@ class SolveServer:
         self._draining = False
         self._closed = False
         self.started_at = 0.0
+        # Daemon-level gauges, set at scrape time by :meth:`metrics_text`.
+        self._uptime_gauge = Gauge(
+            "repro_serve_uptime_seconds", help="Seconds since the daemon started"
+        )
+        self._cache_lru_gauge = Gauge(
+            "repro_cache_lru_entries", help="Entries in the in-process LRU layer"
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,6 +222,15 @@ class SolveServer:
             send(
                 protocol.data_response(
                     rid, protocol.OP_STATS, self.stats(disk=bool(message.get("disk")))
+                )
+            )
+            return None
+        if op == protocol.OP_METRICS:
+            send(
+                protocol.data_response(
+                    rid,
+                    protocol.OP_METRICS,
+                    {"format": "prometheus", "text": self.metrics_text()},
                 )
             )
             return None
@@ -332,6 +349,23 @@ class SolveServer:
             if disk:
                 stats["cache"].update(self.cache.disk_stats())
         return stats
+
+    def metrics_text(self) -> str:
+        """The daemon's instruments in Prometheus text exposition format.
+
+        Merges the pool's registry (request counters, error counters by
+        code, the latency summary, point-in-time queue gauges) with the
+        shared cache's registry, plus the daemon-level uptime gauge.
+        """
+        instruments = self.pool.metrics_instruments()
+        if self.cache is not None:
+            self._cache_lru_gauge.set(self.cache.stats()["lru_entries"])
+            instruments = instruments + self.cache.metrics.instruments()
+            instruments.append(self._cache_lru_gauge)
+        uptime = round(time.monotonic() - self.started_at, 3) if self.started_at else 0.0
+        self._uptime_gauge.set(uptime)
+        instruments.append(self._uptime_gauge)
+        return render_prometheus(instruments)
 
     def health(self) -> Dict[str, Any]:
         return {

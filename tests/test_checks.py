@@ -2,7 +2,8 @@
 
 Every rule gets at least one true-positive fixture and one clean negative,
 written to a temporary tree with the path shape the rule scopes by (the
-lock-discipline and protocol rules only look inside ``serve/``).  On top of
+lock-discipline rule only looks inside ``serve/`` and ``obs/``, the
+protocol rule only inside ``serve/``).  On top of
 the per-rule fixtures: pragma suppression, the baseline round-trip, the CLI
 surface, and a self-check asserting the shipped tree is clean under its own
 gate.
@@ -148,6 +149,23 @@ POOL_FIXTURE = """
 """
 
 
+OBS_FIXTURE = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def inc(self):
+            {inc_body}
+
+        def reset(self):
+            with self._lock:
+                self._value = 0
+"""
+
+
 class TestLockDisciplineRule:
     def test_unguarded_shared_counter_fires(self, tmp_path):
         report = check(tmp_path, LockDisciplineRule(), {
@@ -178,6 +196,51 @@ class TestLockDisciplineRule:
         })
         # note_done is now the only mutator of `completed`: below threshold.
         assert report.findings == []
+
+    def test_obs_lock_constructing_class_fires_unguarded(self, tmp_path):
+        report = check(tmp_path, LockDisciplineRule(), {
+            "obs/metrics.py": OBS_FIXTURE.format(inc_body="self._value += 1"),
+        })
+        assert len(report.findings) == 1
+        assert "Counter._value" in report.findings[0].message
+
+    def test_obs_guarded_mutations_are_clean(self, tmp_path):
+        guarded = "with self._lock:\n                self._value += 1"
+        report = check(tmp_path, LockDisciplineRule(), {
+            "obs/metrics.py": OBS_FIXTURE.format(inc_body=guarded),
+        })
+        assert report.findings == []
+
+    def test_obs_class_without_a_lock_is_out_of_scope(self, tmp_path):
+        # No Lock() construction => the class never declared itself shared.
+        report = check(tmp_path, LockDisciplineRule(), {
+            "obs/metrics.py": """
+                class Plain:
+                    def __init__(self):
+                        self.value = 0
+
+                    def inc(self):
+                        self.value += 1
+
+                    def reset(self):
+                        self.value = 0
+            """,
+        })
+        assert report.findings == []
+
+    def test_reverting_a_real_obs_guard_fires(self, tmp_path):
+        """Stripping one guard from the real obs/metrics.py must fire."""
+        source = (REPO_ROOT / "src" / "repro" / "obs" / "metrics.py").read_text()
+        needle = "with self._lock:\n            self._value -= amount"
+        assert needle in source, "expected guard missing from obs/metrics.py"
+        broken = source.replace(needle, "self._value -= amount", 1)
+        report = check(tmp_path, LockDisciplineRule(), {"obs/metrics.py": broken})
+        assert any(
+            f.rule == "lock-discipline" and "_value" in f.message
+            for f in report.findings
+        )
+        clean = check(tmp_path / "clean", LockDisciplineRule(), {"obs/metrics.py": source})
+        assert clean.findings == []
 
     def test_reverting_a_real_pool_guard_fires(self, tmp_path):
         """Stripping one `with self._lock:` guard from the real serve/pool.py
